@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Ablation A1: single-write versus blocked-write automatic update
+ * (Section 4.1). The two modes have identical semantics; single-write
+ * is "optimized for low overhead" (each store leaves immediately),
+ * blocked-write "for efficient network bandwidth usage" (consecutive
+ * stores within the merge window coalesce into one packet, amortizing
+ * the 18-byte header+CRC overhead).
+ *
+ * A stream of consecutive word stores is pushed through each mode;
+ * counters report packets on the wire, wire efficiency (payload bytes
+ * over total wire bytes), and the effective payload bandwidth. The
+ * merge-window sweep shows blocked-write degrading back to
+ * single-write behaviour as the window shrinks below the store
+ * spacing.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+struct ModeResult
+{
+    double packets = 0;
+    double wireEfficiency = 0;
+    double payloadMBps = 0;
+    double mergedWrites = 0;
+};
+
+ModeResult
+runStoreStream(UpdateMode mode, unsigned stores, Tick merge_timeout)
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 2;
+    cfg.meshHeight = 1;
+    cfg.ni.mergeTimeout = merge_timeout;
+    ShrimpSystem sys(cfg);
+
+    Process *a = sys.kernel(0).createProcess("a");
+    Process *b = sys.kernel(1).createProcess("b");
+    std::size_t pages = (stores * 4 + PAGE_SIZE - 1) / PAGE_SIZE;
+    Addr src = a->allocate(pages);
+    Addr dst = b->allocate(pages);
+    sys.kernel(0).mapDirect(*a, src, pages, sys.kernel(1), *b, dst,
+                            mode);
+
+    Tick first_inject = MAX_TICK, last_deliver = 0;
+    std::uint64_t payload = 0, wire = 0, packets = 0;
+    sys.node(1).ni.onDelivered = [&](const NetPacket &pkt, Tick when) {
+        if (pkt.injectedAt < first_inject)
+            first_inject = pkt.injectedAt;
+        last_deliver = when;
+        payload += pkt.payload.size();
+        wire += pkt.wireBytes();
+        ++packets;
+    };
+
+    Program pa("a");
+    pa.movi(R1, src);
+    pa.movi(R2, 0);
+    pa.movi(R3, stores);
+    pa.label("loop");
+    pa.st(R1, 0, R2, 4);
+    pa.addi(R1, 4);
+    pa.addi(R2, 1);
+    pa.cmp(R2, R3);
+    pa.jl("loop");
+    pa.halt();
+    bench_util::load(sys.kernel(0), *a, std::move(pa));
+    Program pb("b");
+    pb.halt();
+    bench_util::load(sys.kernel(1), *b, std::move(pb));
+
+    sys.startAll();
+    sys.runUntilAllExited(10 * ONE_SEC, 2'000'000'000);
+    sys.runFor(50 * ONE_MS);
+
+    ModeResult r;
+    r.packets = static_cast<double>(packets);
+    r.wireEfficiency = wire ? static_cast<double>(payload) / wire : 0;
+    if (last_deliver > first_inject) {
+        r.payloadMBps = payload /
+                        (static_cast<double>(last_deliver -
+                                             first_inject) /
+                         ONE_SEC) /
+                        1e6;
+    }
+    r.mergedWrites = static_cast<double>(sys.node(0).ni.mergedWrites());
+    return r;
+}
+
+void
+BM_AutoUpdate_SingleWrite(benchmark::State &state)
+{
+    ModeResult r;
+    auto stores = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        r = runStoreStream(UpdateMode::AUTO_SINGLE, stores, ONE_US);
+    state.counters["packets"] = r.packets;
+    state.counters["wire_efficiency"] = r.wireEfficiency;
+    state.counters["payload_MBps"] = r.payloadMBps;
+    state.SetLabel("one packet per store; low latency, heavy header "
+                   "overhead");
+}
+BENCHMARK(BM_AutoUpdate_SingleWrite)->Arg(256)->Arg(1024)->Iterations(1);
+
+void
+BM_AutoUpdate_BlockedWrite(benchmark::State &state)
+{
+    ModeResult r;
+    auto stores = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        r = runStoreStream(UpdateMode::AUTO_BLOCK, stores, ONE_US);
+    state.counters["packets"] = r.packets;
+    state.counters["wire_efficiency"] = r.wireEfficiency;
+    state.counters["payload_MBps"] = r.payloadMBps;
+    state.counters["merged_writes"] = r.mergedWrites;
+    state.SetLabel("consecutive stores merge; efficient bandwidth use");
+}
+BENCHMARK(BM_AutoUpdate_BlockedWrite)->Arg(256)->Arg(1024)->Iterations(1);
+
+void
+BM_AutoUpdate_MergeWindowSweep(benchmark::State &state)
+{
+    ModeResult r;
+    Tick window = static_cast<Tick>(state.range(0)) * ONE_NS;
+    for (auto _ : state)
+        r = runStoreStream(UpdateMode::AUTO_BLOCK, 512, window);
+    state.counters["packets"] = r.packets;
+    state.counters["wire_efficiency"] = r.wireEfficiency;
+    state.SetLabel("blocked-write with a programmable merge window");
+}
+// Store spacing is ~60-100 ns; windows below that stop merging.
+BENCHMARK(BM_AutoUpdate_MergeWindowSweep)
+    ->Arg(25)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

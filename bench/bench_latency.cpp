@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces the paper's hardware latency results (Section 5.1):
+ *
+ *  H1: single-write automatic-update latency on the EISA-based
+ *      prototype, 16-node system: "slightly less than 2 us".
+ *  H2: next-generation datapath (Xpress-direct receive): "< 1 us".
+ *
+ * Also sweeps mesh hop distance to show the per-hop contribution is
+ * small relative to the I/O-bus cost -- the reason the paper can
+ * quote one latency number for a 16-node machine.
+ *
+ * Counter: sim_latency_us is the simulated store-to-remote-memory
+ * time of a single 4-byte automatic update.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+void
+BM_SingleWriteLatency_EisaPrototype(benchmark::State &state)
+{
+    double us = 0;
+    auto hops = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        us = bench_util::measureSingleWriteLatencyUs(false, hops);
+    state.counters["sim_latency_us"] = us;
+    state.SetLabel("paper H1: slightly less than 2 us");
+}
+BENCHMARK(BM_SingleWriteLatency_EisaPrototype)
+    ->DenseRange(1, 6, 1)
+    ->Iterations(1);
+
+void
+BM_SingleWriteLatency_NextGen(benchmark::State &state)
+{
+    double us = 0;
+    auto hops = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        us = bench_util::measureSingleWriteLatencyUs(true, hops);
+    state.counters["sim_latency_us"] = us;
+    state.SetLabel("paper H2: less than 1 us");
+}
+BENCHMARK(BM_SingleWriteLatency_NextGen)
+    ->DenseRange(1, 6, 1)
+    ->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

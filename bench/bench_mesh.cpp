@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Ablation A4: characterization of the routing backplane substrate
+ * (the Paragon-style mesh of Section 3). Not a paper table, but the
+ * properties the paper's numbers implicitly depend on:
+ *
+ *  - base per-hop latency under zero load (cut-through: header
+ *    latency per hop, serialization paid once);
+ *  - random uniform traffic: delivered bandwidth and mean latency as
+ *    offered load rises toward saturation;
+ *  - mesh size scaling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/backplane.hh"
+#include "sim/random.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+struct TrafficResult
+{
+    double meanLatencyUs = 0;
+    double deliveredMBps = 0;
+    double delivered = 0;
+};
+
+/** Uniform random traffic at a given per-node injection interval. */
+TrafficResult
+runUniformTraffic(unsigned w, unsigned h, Tick inject_interval,
+                  unsigned packets_per_node, unsigned payload)
+{
+    EventQueue eq;
+    Router::Params params;
+    MeshBackplane mesh(eq, "mesh", w, h, params);
+    unsigned n = w * h;
+
+    struct Sink : NetworkSink
+    {
+        EventQueue *eq;
+        std::uint64_t count = 0;
+        std::uint64_t bytes = 0;
+        Tick latencySum = 0;
+        Tick lastAt = 0;
+        bool sinkReady() const override { return true; }
+        void
+        sinkDeliver(NetPacket &&p) override
+        {
+            ++count;
+            bytes += p.payload.size();
+            latencySum += eq->curTick() - p.injectedAt;
+            lastAt = eq->curTick();
+        }
+    };
+    std::vector<Sink> sinks(n);
+    for (NodeId i = 0; i < n; ++i) {
+        sinks[i].eq = &eq;
+        mesh.router(i).setSink(&sinks[i]);
+    }
+
+    Rng rng(0xbeef + w * 31 + h);
+    struct Source
+    {
+        unsigned left;
+        Tick next;
+    };
+    std::vector<Source> sources(n);
+    for (auto &s : sources)
+        s = {packets_per_node, 0};
+
+    EventFunctionWrapper pump(
+        [&] {
+            Tick now = eq.curTick();
+            Tick next_wake = MAX_TICK;
+            for (NodeId i = 0; i < n; ++i) {
+                Source &s = sources[i];
+                if (s.left == 0)
+                    continue;
+                if (s.next <= now && mesh.router(i).injectReady()) {
+                    NodeId dst = static_cast<NodeId>(rng.below(n));
+                    NetPacket pkt;
+                    pkt.srcNode = i;
+                    pkt.dstNode = dst;
+                    pkt.dstX =
+                        static_cast<std::uint16_t>(mesh.xOf(dst));
+                    pkt.dstY =
+                        static_cast<std::uint16_t>(mesh.yOf(dst));
+                    pkt.dstPaddr = 0x1000;
+                    pkt.payload.assign(payload, 0x5a);
+                    pkt.sealCrc();
+                    pkt.injectedAt = now;
+                    mesh.router(i).inject(std::move(pkt));
+                    --s.left;
+                    s.next = now + inject_interval;
+                }
+                if (s.left) {
+                    Tick cand = s.next > now ? s.next : now + ONE_US;
+                    if (cand < next_wake)
+                        next_wake = cand;
+                }
+            }
+            if (next_wake != MAX_TICK)
+                eq.schedule(&pump, next_wake);
+        },
+        "pump");
+    eq.schedule(&pump, 0);
+    eq.run(500'000'000);
+
+    TrafficResult r;
+    std::uint64_t count = 0, bytes = 0;
+    Tick lat = 0, last = 0;
+    for (const Sink &s : sinks) {
+        count += s.count;
+        bytes += s.bytes;
+        lat += s.latencySum;
+        last = s.lastAt > last ? s.lastAt : last;
+    }
+    r.delivered = static_cast<double>(count);
+    if (count)
+        r.meanLatencyUs =
+            static_cast<double>(lat) / count / ONE_US;
+    if (last)
+        r.deliveredMBps =
+            bytes / (static_cast<double>(last) / ONE_SEC) / 1e6;
+    return r;
+}
+
+void
+BM_Mesh_ZeroLoadLatencyByHops(benchmark::State &state)
+{
+    auto hops = static_cast<unsigned>(state.range(0));
+    EventQueue eq;
+    Router::Params params;
+    MeshBackplane mesh(eq, "mesh", 8, 1, params);
+
+    struct Sink : NetworkSink
+    {
+        EventQueue *eq;
+        Tick at = 0;
+        bool sinkReady() const override { return true; }
+        void sinkDeliver(NetPacket &&) override { at = eq->curTick(); }
+    };
+    std::vector<Sink> sinks(8);
+    for (NodeId i = 0; i < 8; ++i) {
+        sinks[i].eq = &eq;
+        mesh.router(i).setSink(&sinks[i]);
+    }
+
+    double us = 0;
+    for (auto _ : state) {
+        NetPacket pkt;
+        pkt.srcNode = 0;
+        pkt.dstNode = hops;
+        pkt.dstX = static_cast<std::uint16_t>(hops);
+        pkt.dstY = 0;
+        pkt.dstPaddr = 0x1000;
+        pkt.payload.assign(8, 1);
+        pkt.sealCrc();
+        Tick t0 = eq.curTick();
+        pkt.injectedAt = t0;
+        mesh.router(0).inject(std::move(pkt));
+        eq.run();
+        us = static_cast<double>(sinks[hops].at - t0) / ONE_US;
+    }
+    state.counters["sim_latency_us"] = us;
+    state.SetLabel("cut-through: ~50 ns per hop + one serialization");
+}
+BENCHMARK(BM_Mesh_ZeroLoadLatencyByHops)
+    ->DenseRange(1, 7, 1)
+    ->Iterations(1);
+
+void
+BM_Mesh_UniformLoadSweep(benchmark::State &state)
+{
+    TrafficResult r;
+    Tick interval = static_cast<Tick>(state.range(0)) * ONE_NS;
+    for (auto _ : state)
+        r = runUniformTraffic(4, 4, interval, 100, 128);
+    state.counters["mean_latency_us"] = r.meanLatencyUs;
+    state.counters["delivered_MBps"] = r.deliveredMBps;
+    state.counters["delivered"] = r.delivered;
+    state.SetLabel("offered load sweep toward saturation");
+}
+// 128B+18B at 80 MB/s is ~1.8 us per packet per link.
+BENCHMARK(BM_Mesh_UniformLoadSweep)
+    ->Arg(40000)
+    ->Arg(10000)
+    ->Arg(4000)
+    ->Arg(2000)
+    ->Arg(1000)
+    ->Iterations(1);
+
+void
+BM_Mesh_SizeScaling(benchmark::State &state)
+{
+    TrafficResult r;
+    auto side = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        r = runUniformTraffic(side, side, 5 * ONE_US, 100, 128);
+    state.counters["mean_latency_us"] = r.meanLatencyUs;
+    state.counters["delivered_MBps"] = r.deliveredMBps;
+    state.SetLabel("same offered load per node, growing machine");
+}
+BENCHMARK(BM_Mesh_SizeScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

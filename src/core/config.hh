@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SystemConfig: every tunable of a simulated SHRIMP machine in one
+ * place, with defaults matching the paper's published hardware: 60 MHz
+ * Pentium-class nodes, a 33.3 MHz 64-bit Xpress memory bus, a 33 MB/s
+ * burst EISA expansion bus on the prototype receive path, and a
+ * Paragon-style 2-D mesh backplane.
+ */
+
+#ifndef SHRIMP_CORE_CONFIG_HH
+#define SHRIMP_CORE_CONFIG_HH
+
+#include "cpu/cpu.hh"
+#include "mem/cache.hh"
+#include "mem/eisa_bus.hh"
+#include "net/router.hh"
+#include "nic/shrimp_ni.hh"
+#include "os/kernel.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** Full machine configuration. */
+struct SystemConfig
+{
+    unsigned meshWidth = 2;
+    unsigned meshHeight = 2;
+    Addr memBytesPerNode = 4 * 1024 * 1024;
+    Tick memAccessLatency = 60 * ONE_NS;
+
+    std::uint64_t xpressBusFreqHz = 33'333'333;
+    unsigned xpressBusWidthBytes = 8;
+
+    Cpu::Params cpu{};
+    Cache::Params cache{};
+    EisaBus::Params eisa{};
+    Router::Params router{};
+    ShrimpNi::Params ni{};
+    Kernel::Costs kernel{};
+
+    /**
+     * Use the next-generation datapath: incoming packets bypass the
+     * EISA bus and drive the Xpress bus directly (Section 5.1 predicts
+     * < 1 us latency and ~70 MB/s with this path).
+     */
+    bool nextGenDatapath = false;
+
+    /** Wire the kernel channels + NX service at boot. */
+    bool bootKernelServices = true;
+
+    unsigned numNodes() const { return meshWidth * meshHeight; }
+
+    /** A 16-node (4x4) configuration like the paper's estimate. */
+    static SystemConfig
+    paper16()
+    {
+        SystemConfig cfg;
+        cfg.meshWidth = 4;
+        cfg.meshHeight = 4;
+        return cfg;
+    }
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_CORE_CONFIG_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Host-side setup for user-level NX/2 connections (src/msg/nx2_user):
+ * allocates the ring and credit pages in both processes and
+ * establishes the two mappings (ring: sender -> receiver, blocked-
+ * write; credit: receiver -> sender, single-write).
+ */
+
+#ifndef SHRIMP_CORE_NX2_SETUP_HH
+#define SHRIMP_CORE_NX2_SETUP_HH
+
+#include "core/system.hh"
+#include "msg/nx2_user.hh"
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+/** Both ends of one user-level NX/2 connection. */
+struct Nx2Connection
+{
+    msg::Nx2SenderView sender;
+    msg::Nx2ReceiverView receiver;
+};
+
+/**
+ * Wire a unidirectional user-level NX/2 connection from @p src_proc
+ * on @p src_node to @p dst_proc on @p dst_node. Mappings are
+ * established directly (boot-time style); production code would issue
+ * the MAP syscalls instead.
+ */
+inline Nx2Connection
+setupNx2Connection(ShrimpSystem &sys, NodeId src_node, Process &src_proc,
+                   NodeId dst_node, Process &dst_proc)
+{
+    Nx2Connection conn;
+
+    // Ring page: written by the sender, mapped blocked-write so the
+    // header/payload stores merge into few packets.
+    conn.sender.ringVaddr = src_proc.allocate(1);
+    conn.receiver.ringVaddr = dst_proc.allocate(1);
+    std::uint64_t e = sys.kernel(src_node).mapDirect(
+        src_proc, conn.sender.ringVaddr, 1, sys.kernel(dst_node),
+        dst_proc, conn.receiver.ringVaddr, UpdateMode::AUTO_BLOCK);
+    SHRIMP_ASSERT(e == err::OK, "NX2 ring mapping failed: ", e);
+
+    // Credit word: written by the receiver back to the sender.
+    conn.receiver.creditVaddr = dst_proc.allocate(1);
+    conn.sender.creditVaddr = src_proc.allocate(1);
+    e = sys.kernel(dst_node).mapDirect(
+        dst_proc, conn.receiver.creditVaddr, 1, sys.kernel(src_node),
+        src_proc, conn.sender.creditVaddr, UpdateMode::AUTO_SINGLE);
+    SHRIMP_ASSERT(e == err::OK, "NX2 credit mapping failed: ", e);
+
+    // Private state words.
+    conn.sender.stateVaddr = src_proc.allocate(1);
+    conn.receiver.stateVaddr = dst_proc.allocate(1);
+    return conn;
+}
+
+} // namespace shrimp
+
+#endif // SHRIMP_CORE_NX2_SETUP_HH

@@ -1,0 +1,94 @@
+#include "core/system.hh"
+
+#include "os/nx_service.hh"
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+ShrimpSystem::ShrimpSystem(const SystemConfig &cfg) : _cfg(cfg)
+{
+    _backplane = std::make_unique<MeshBackplane>(
+        _eq, "mesh", cfg.meshWidth, cfg.meshHeight, cfg.router);
+
+    for (NodeId id = 0; id < cfg.numNodes(); ++id)
+        _nodes.push_back(std::make_unique<Node>(_eq, id, cfg,
+                                                *_backplane));
+
+    if (cfg.bootKernelServices) {
+        // Phase 1: every kernel allocates its channel and NX frames.
+        for (auto &node : _nodes)
+            node->kernel.allocateChannels();
+
+        // Phase 2: cross-wire outgoing mappings now that every
+        // receiver frame is known (the real machine does this during
+        // coordinated boot).
+        for (NodeId a = 0; a < cfg.numNodes(); ++a) {
+            for (NodeId b = 0; b < cfg.numNodes(); ++b) {
+                if (a == b)
+                    continue;
+                Kernel &ka = _nodes[a]->kernel;
+                Kernel &kb = _nodes[b]->kernel;
+                ka.wireChannelOut(b, kb.channelInFrame(a));
+
+                std::vector<PageNum> data_frames;
+                for (std::size_t i = 0; i < NxService::slotPages; ++i)
+                    data_frames.push_back(
+                        kb.nxService().dataInFrame(a, i));
+                ka.nxService().wireTo(b, data_frames,
+                                      kb.nxService().ctlInFrame(a));
+            }
+        }
+    }
+}
+
+void
+ShrimpSystem::startAll()
+{
+    for (auto &node : _nodes)
+        node->kernel.start();
+}
+
+bool
+ShrimpSystem::runUntilAllExited(Tick max_time, std::uint64_t max_events)
+{
+    Tick deadline = _eq.curTick() + max_time;
+    std::uint64_t processed = 0;
+    while (processed < max_events) {
+        auto all_done = [this] {
+            for (auto &node : _nodes) {
+                if (!node->kernel.allProcessesExited())
+                    return false;
+            }
+            return true;
+        };
+        if (all_done())
+            return true;
+        if (_eq.empty() || _eq.curTick() > deadline)
+            return all_done();
+        _eq.runOne();
+        ++processed;
+    }
+    SHRIMP_WARN("runUntilAllExited hit the event cap");
+    return false;
+}
+
+void
+ShrimpSystem::runFor(Tick duration)
+{
+    _eq.runUntil(_eq.curTick() + duration);
+}
+
+void
+ShrimpSystem::dumpStats(std::ostream &os)
+{
+    for (auto &node : _nodes) {
+        node->bus.statGroup().dump(os);
+        node->cache.statGroup().dump(os);
+        node->cpu.statGroup().dump(os);
+        node->ni.statGroup().dump(os);
+        node->kernel.statGroup().dump(os);
+    }
+}
+
+} // namespace shrimp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ShrimpSystem: the top-level machine and the library's main entry
+ * point. Builds N nodes on a 2-D mesh backplane, boots the kernels
+ * (kernel channels + NX baseline wiring), and drives simulation.
+ *
+ * Typical use:
+ * @code
+ *   SystemConfig cfg;               // 2x2 mesh, paper defaults
+ *   ShrimpSystem sys(cfg);
+ *   Process *a = sys.kernel(0).createProcess("sender");
+ *   ...
+ *   sys.runUntilAllExited();
+ * @endcode
+ */
+
+#ifndef SHRIMP_CORE_SYSTEM_HH
+#define SHRIMP_CORE_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/node.hh"
+
+namespace shrimp
+{
+
+/** A complete simulated SHRIMP multicomputer. */
+class ShrimpSystem
+{
+  public:
+    explicit ShrimpSystem(const SystemConfig &cfg = SystemConfig{});
+
+    const SystemConfig &config() const { return _cfg; }
+    EventQueue &eventQueue() { return _eq; }
+    Tick curTick() const { return _eq.curTick(); }
+
+    unsigned numNodes() const { return _cfg.numNodes(); }
+    Node &node(NodeId id) { return *_nodes.at(id); }
+    Kernel &kernel(NodeId id) { return _nodes.at(id)->kernel; }
+    MeshBackplane &backplane() { return *_backplane; }
+
+    /** Start scheduling on every node. */
+    void startAll();
+
+    /**
+     * Run until every process on every node has exited, a hard event
+     * cap is hit, or time exceeds @p max_time.
+     *
+     * @return true if all processes exited.
+     */
+    bool runUntilAllExited(Tick max_time = 10 * ONE_SEC,
+                           std::uint64_t max_events = 500'000'000);
+
+    /** Run all events scheduled up to @p when. */
+    void runFor(Tick duration);
+
+    /** Dump every component's statistics. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    SystemConfig _cfg;
+    EventQueue _eq;
+    std::unique_ptr<MeshBackplane> _backplane;
+    std::vector<std::unique_ptr<Node>> _nodes;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_CORE_SYSTEM_HH

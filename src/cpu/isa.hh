@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The mini-ISA executed by simulated node CPUs.
+ *
+ * An i386-flavoured register machine: 8 general registers, ZF/LF
+ * flags, byte-addressed little-endian memory, and the locked CMPXCHG
+ * instruction the SHRIMP deliberate-update protocol is built on
+ * (Section 4.3). The paper measures software overhead in instructions,
+ * so the message-passing primitives in src/msg are written in this ISA
+ * and executed on the Cpu model, which counts them.
+ */
+
+#ifndef SHRIMP_CPU_ISA_HH
+#define SHRIMP_CPU_ISA_HH
+
+#include <cstdint>
+
+namespace shrimp
+{
+
+/** General-purpose register names. R0 is the accumulator (EAX analog,
+ *  compared by CMPXCHG); R7 is the stack pointer by convention. */
+enum Reg : std::uint8_t
+{
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+    NUM_REGS,
+    SP = R7,
+};
+
+enum class Opcode : std::uint8_t
+{
+    NOP,
+    HALT,       //!< process finished
+
+    MOVI,       //!< rd <- imm
+    MOV,        //!< rd <- rs1
+    ADD,        //!< rd <- rd + rs1
+    ADDI,       //!< rd <- rd + imm
+    SUB,        //!< rd <- rd - rs1
+    SUBI,       //!< rd <- rd - imm
+    AND_,       //!< rd <- rd & rs1
+    ANDI,       //!< rd <- rd & imm
+    OR_,        //!< rd <- rd | rs1
+    XOR_,       //!< rd <- rd ^ rs1
+    SHLI,       //!< rd <- rd << imm
+    SHRI,       //!< rd <- rd >> imm (logical)
+    MUL,        //!< rd <- rd * rs1
+
+    LD,         //!< rd <- mem[rs1 + imm] (size bytes, zero-extended)
+    ST,         //!< mem[rd + imm] <- rs1 (size bytes)
+    STI,        //!< mem[rd + imm] <- imm2 (size bytes)
+
+    CMP,        //!< flags <- compare(rs1, rs2)
+    CMPI,       //!< flags <- compare(rs1, imm)
+    JMP,        //!< pc <- imm
+    JZ,         //!< if ZF
+    JNZ,        //!< if !ZF
+    JL,         //!< if LF (rs1 < rhs, unsigned)
+    JGE,        //!< if !LF
+
+    CALL,       //!< push pc+1; pc <- imm
+    RET,        //!< pc <- pop
+    PUSH,       //!< mem[--sp] <- rs1
+    POP,        //!< rd <- mem[sp++]
+
+    /**
+     * Locked compare-and-exchange, the x86 CMPXCHG: one atomic bus
+     * read(+write). If mem[rs1+imm] == R0 then mem <- rs2 and ZF=1,
+     * else R0 <- mem and ZF=0.
+     */
+    CMPXCHG,
+
+    SYSCALL,    //!< trap to kernel; number in imm, args in R1..R3,
+                //!< result in R0
+
+    /**
+     * Instrumentation: set the current measurement region to imm.
+     * Free (zero time, not counted); exists so harnesses can attribute
+     * executed instructions to "send overhead", "receive overhead",
+     * "per-byte data movement", etc., exactly as the paper's Table 1
+     * separates them.
+     */
+    MARK,
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint8_t size = 4;          //!< memory access size in bytes
+    std::int64_t imm = 0;           //!< immediate / branch target
+    std::int64_t imm2 = 0;          //!< second immediate (STI value)
+};
+
+/** Mnemonic for traces. */
+const char *opcodeName(Opcode op);
+
+} // namespace shrimp
+
+#endif // SHRIMP_CPU_ISA_HH

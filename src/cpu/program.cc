@@ -1,0 +1,104 @@
+#include "cpu/program.hh"
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP: return "nop";
+      case Opcode::HALT: return "halt";
+      case Opcode::MOVI: return "movi";
+      case Opcode::MOV: return "mov";
+      case Opcode::ADD: return "add";
+      case Opcode::ADDI: return "addi";
+      case Opcode::SUB: return "sub";
+      case Opcode::SUBI: return "subi";
+      case Opcode::AND_: return "and";
+      case Opcode::ANDI: return "andi";
+      case Opcode::OR_: return "or";
+      case Opcode::XOR_: return "xor";
+      case Opcode::SHLI: return "shli";
+      case Opcode::SHRI: return "shri";
+      case Opcode::MUL: return "mul";
+      case Opcode::LD: return "ld";
+      case Opcode::ST: return "st";
+      case Opcode::STI: return "sti";
+      case Opcode::CMP: return "cmp";
+      case Opcode::CMPI: return "cmpi";
+      case Opcode::JMP: return "jmp";
+      case Opcode::JZ: return "jz";
+      case Opcode::JNZ: return "jnz";
+      case Opcode::JL: return "jl";
+      case Opcode::JGE: return "jge";
+      case Opcode::CALL: return "call";
+      case Opcode::RET: return "ret";
+      case Opcode::PUSH: return "push";
+      case Opcode::POP: return "pop";
+      case Opcode::CMPXCHG: return "cmpxchg";
+      case Opcode::SYSCALL: return "syscall";
+      case Opcode::MARK: return "mark";
+    }
+    return "???";
+}
+
+int
+Program::emit(Instruction instr)
+{
+    SHRIMP_ASSERT(!_finalized, "emit into finalized program '", _name, "'");
+    _instrs.push_back(instr);
+    return static_cast<int>(_instrs.size()) - 1;
+}
+
+int
+Program::branch(Opcode op, const std::string &label)
+{
+    int idx = emit({op});
+    _fixups.emplace_back(static_cast<std::uint32_t>(idx), label);
+    return idx;
+}
+
+void
+Program::label(const std::string &name)
+{
+    SHRIMP_ASSERT(!_finalized, "label in finalized program");
+    SHRIMP_ASSERT(!_labels.count(name),
+                  "duplicate label '", name, "' in '", _name, "'");
+    _labels[name] = static_cast<std::uint32_t>(_instrs.size());
+}
+
+void
+Program::finalize()
+{
+    SHRIMP_ASSERT(!_finalized, "double finalize of '", _name, "'");
+    for (const auto &[idx, label] : _fixups) {
+        auto it = _labels.find(label);
+        SHRIMP_ASSERT(it != _labels.end(),
+                      "undefined label '", label, "' in '", _name, "'");
+        _instrs[idx].imm = it->second;
+    }
+    _fixups.clear();
+    _finalized = true;
+}
+
+const Instruction &
+Program::at(std::uint32_t pc) const
+{
+    SHRIMP_ASSERT(_finalized, "execution of non-finalized program");
+    SHRIMP_ASSERT(pc < _instrs.size(),
+                  "pc out of range: ", pc, " in '", _name, "'");
+    return _instrs[pc];
+}
+
+std::uint32_t
+Program::labelAddress(const std::string &name) const
+{
+    auto it = _labels.find(name);
+    SHRIMP_ASSERT(it != _labels.end(), "unknown label '", name, "'");
+    return it->second;
+}
+
+} // namespace shrimp

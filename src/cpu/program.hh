@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Program: an assembled instruction sequence, built through an
+ * assembler-style fluent API with named labels.
+ *
+ * The message-passing library (src/msg) consists of macro emitters
+ * that append code to a Program, mirroring how the paper's primitives
+ * were "embedded in a macro or a run-time library routine".
+ */
+
+#ifndef SHRIMP_CPU_PROGRAM_HH
+#define SHRIMP_CPU_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/isa.hh"
+
+namespace shrimp
+{
+
+/** An assembled program. Append instructions, then finalize(). */
+class Program
+{
+  public:
+    explicit Program(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    // ---- emitters; each returns the emitted instruction's index ----
+
+    int nop() { return emit({Opcode::NOP}); }
+    int halt() { return emit({Opcode::HALT}); }
+
+    int
+    movi(Reg rd, std::uint64_t imm)
+    {
+        return emit({Opcode::MOVI, rd, 0, 0, 4,
+                     static_cast<std::int64_t>(imm)});
+    }
+
+    int mov(Reg rd, Reg rs) { return emit({Opcode::MOV, rd, rs}); }
+    int add(Reg rd, Reg rs) { return emit({Opcode::ADD, rd, rs}); }
+    int sub(Reg rd, Reg rs) { return emit({Opcode::SUB, rd, rs}); }
+    int and_(Reg rd, Reg rs) { return emit({Opcode::AND_, rd, rs}); }
+    int or_(Reg rd, Reg rs) { return emit({Opcode::OR_, rd, rs}); }
+    int xor_(Reg rd, Reg rs) { return emit({Opcode::XOR_, rd, rs}); }
+    int mul(Reg rd, Reg rs) { return emit({Opcode::MUL, rd, rs}); }
+
+    int
+    addi(Reg rd, std::int64_t imm)
+    {
+        return emit({Opcode::ADDI, rd, 0, 0, 4, imm});
+    }
+
+    int
+    subi(Reg rd, std::int64_t imm)
+    {
+        return emit({Opcode::SUBI, rd, 0, 0, 4, imm});
+    }
+
+    int
+    andi(Reg rd, std::int64_t imm)
+    {
+        return emit({Opcode::ANDI, rd, 0, 0, 4, imm});
+    }
+
+    int
+    shli(Reg rd, unsigned amount)
+    {
+        return emit({Opcode::SHLI, rd, 0, 0, 4,
+                     static_cast<std::int64_t>(amount)});
+    }
+
+    int
+    shri(Reg rd, unsigned amount)
+    {
+        return emit({Opcode::SHRI, rd, 0, 0, 4,
+                     static_cast<std::int64_t>(amount)});
+    }
+
+    int
+    ld(Reg rd, Reg base, std::int64_t off, unsigned size = 4)
+    {
+        return emit({Opcode::LD, rd, base, 0,
+                     static_cast<std::uint8_t>(size), off});
+    }
+
+    int
+    st(Reg base, std::int64_t off, Reg rs, unsigned size = 4)
+    {
+        return emit({Opcode::ST, base, rs, 0,
+                     static_cast<std::uint8_t>(size), off});
+    }
+
+    int
+    sti(Reg base, std::int64_t off, std::int64_t value, unsigned size = 4)
+    {
+        return emit({Opcode::STI, base, 0, 0,
+                     static_cast<std::uint8_t>(size), off, value});
+    }
+
+    int cmp(Reg a, Reg b) { return emit({Opcode::CMP, 0, a, b}); }
+
+    int
+    cmpi(Reg a, std::int64_t imm)
+    {
+        return emit({Opcode::CMPI, 0, a, 0, 4, imm});
+    }
+
+    int jmp(const std::string &l) { return branch(Opcode::JMP, l); }
+    int jz(const std::string &l) { return branch(Opcode::JZ, l); }
+    int jnz(const std::string &l) { return branch(Opcode::JNZ, l); }
+    int jl(const std::string &l) { return branch(Opcode::JL, l); }
+    int jge(const std::string &l) { return branch(Opcode::JGE, l); }
+    int call(const std::string &l) { return branch(Opcode::CALL, l); }
+
+    int ret() { return emit({Opcode::RET}); }
+    int push(Reg rs) { return emit({Opcode::PUSH, 0, rs}); }
+    int pop(Reg rd) { return emit({Opcode::POP, rd}); }
+
+    int
+    cmpxchg(Reg base, std::int64_t off, Reg src, unsigned size = 4)
+    {
+        return emit({Opcode::CMPXCHG, base, src, 0,
+                     static_cast<std::uint8_t>(size), off});
+    }
+
+    int
+    syscall(std::uint64_t num)
+    {
+        return emit({Opcode::SYSCALL, 0, 0, 0, 4,
+                     static_cast<std::int64_t>(num)});
+    }
+
+    int
+    mark(std::uint8_t region)
+    {
+        return emit({Opcode::MARK, 0, 0, 0, 4, region});
+    }
+
+    /** Define @p name at the next emitted instruction. */
+    void label(const std::string &name);
+
+    /** Resolve all label references; the program becomes executable. */
+    void finalize();
+
+    bool finalized() const { return _finalized; }
+    std::size_t size() const { return _instrs.size(); }
+    const Instruction &at(std::uint32_t pc) const;
+
+    /** Address of a label in a finalized program. */
+    std::uint32_t labelAddress(const std::string &name) const;
+
+  private:
+    int emit(Instruction instr);
+    int branch(Opcode op, const std::string &label);
+
+    std::string _name;
+    std::vector<Instruction> _instrs;
+    std::map<std::string, std::uint32_t> _labels;
+    std::vector<std::pair<std::uint32_t, std::string>> _fixups;
+    bool _finalized = false;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_CPU_PROGRAM_HH

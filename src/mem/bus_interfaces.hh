@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Interfaces between bus masters, targets and snoopers on the Xpress
+ * memory bus.
+ */
+
+#ifndef SHRIMP_MEM_BUS_INTERFACES_HH
+#define SHRIMP_MEM_BUS_INTERFACES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** Who is driving a bus transaction. */
+enum class BusMaster : std::uint8_t
+{
+    CPU,        //!< processor loads/stores (incl. posted write buffer)
+    EISA_DMA,   //!< incoming-packet DMA through the EISA bridge
+    NIC_DMA,    //!< deliberate-update DMA engine reading main memory
+};
+
+/**
+ * Something addressable on the bus: main memory, or the network
+ * interface's command space.
+ */
+class BusTarget
+{
+  public:
+    virtual ~BusTarget() = default;
+
+    /** Read @p size bytes (<= 8) at @p paddr, returned little-endian. */
+    virtual std::uint64_t busRead(Addr paddr, unsigned size) = 0;
+
+    /** Write @p len bytes at @p paddr. */
+    virtual void busWrite(Addr paddr, const void *buf, Addr len) = 0;
+
+    /**
+     * If true, posted writes to this target take functional effect at
+     * the bus-grant tick rather than at issue. Memory wants
+     * issue-time effect (the CPU must see its own stores); device
+     * command space wants grant-time effect so control writes stay
+     * ordered with the snooped data writes preceding them.
+     */
+    virtual bool effectAtGrant() const { return false; }
+};
+
+/**
+ * A device observing bus traffic. The SHRIMP network interface snoops
+ * CPU write-through stores; caches snoop DMA writes to invalidate.
+ */
+class BusSnooper
+{
+  public:
+    virtual ~BusSnooper() = default;
+
+    /**
+     * Called at the tick a write transaction occupies the bus.
+     *
+     * @param paddr physical address of the write
+     * @param buf the written bytes
+     * @param len number of bytes written
+     * @param master which device drove the write
+     */
+    virtual void snoopWrite(Addr paddr, const void *buf, Addr len,
+                            BusMaster master) = 0;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_MEM_BUS_INTERFACES_HH

@@ -1,0 +1,221 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+const char *
+cachePolicyName(CachePolicy policy)
+{
+    switch (policy) {
+      case CachePolicy::WRITE_BACK: return "write-back";
+      case CachePolicy::WRITE_THROUGH: return "write-through";
+      case CachePolicy::UNCACHEABLE: return "uncacheable";
+    }
+    return "unknown";
+}
+
+Tick
+WriteBuffer::post(XpressBus &bus, Addr paddr, const void *buf, Addr len,
+                  Tick now)
+{
+    retire(now);
+
+    Tick proceed = now;
+    if (_pending.size() >= _capacity) {
+        // Buffer full: the CPU stalls until the oldest write reaches
+        // the bus and frees a slot.
+        proceed = _pending.front();
+        retire(proceed);
+    }
+
+    Tick earliest = proceed > _lastGrantEnd ? proceed : _lastGrantEnd;
+    XpressBus::Grant grant =
+        bus.postWrite(paddr, buf, len, BusMaster::CPU, earliest);
+    _pending.push_back(grant.end);
+    _lastGrantEnd = grant.end;
+    return proceed;
+}
+
+Tick
+WriteBuffer::drainedAt(Tick now)
+{
+    retire(now);
+    return _pending.empty() ? now : _pending.back();
+}
+
+void
+WriteBuffer::retire(Tick now)
+{
+    while (!_pending.empty() && _pending.front() <= now)
+        _pending.pop_front();
+}
+
+Cache::Cache(EventQueue &eq, std::string name, std::uint64_t freq_hz,
+             XpressBus &bus, MainMemory &mem, const Params &params)
+    : ClockedObject(eq, std::move(name), freq_hz),
+      _bus(bus),
+      _mem(mem),
+      _params(params),
+      _writeBuffer(params.writeBufferEntries),
+      _stats(this->name())
+{
+    SHRIMP_ASSERT(params.sizeBytes % params.lineBytes == 0,
+                  "cache size not a multiple of line size");
+    _lines.resize(params.sizeBytes / params.lineBytes);
+
+    _stats.addStat(&_hits);
+    _stats.addStat(&_misses);
+    _stats.addStat(&_writebacks);
+    _stats.addStat(&_snoopInvalidations);
+
+    bus.addSnooper(this);
+}
+
+std::size_t
+Cache::indexOf(Addr paddr) const
+{
+    return (paddr / _params.lineBytes) % _lines.size();
+}
+
+Addr
+Cache::tagOf(Addr paddr) const
+{
+    return paddr / _params.sizeBytes;
+}
+
+Addr
+Cache::lineBase(Addr paddr) const
+{
+    return paddr - paddr % _params.lineBytes;
+}
+
+Tick
+Cache::fill(Addr paddr, Tick now)
+{
+    Line &line = _lines[indexOf(paddr)];
+
+    if (line.valid && line.dirty) {
+        // Victim writeback. Memory already holds current data (the
+        // cache is timing-only), so this charges occupancy without a
+        // functional write -- and without snooper noise, which is
+        // faithful: only mapped pages matter to the NIC and mapped-out
+        // pages are forced write-through, never dirty.
+        _bus.acquire(now, _params.lineBytes);
+        ++_writebacks;
+    }
+
+    XpressBus::Grant grant = _bus.acquire(now, _params.lineBytes);
+    Tick avail = grant.end + _mem.accessLatency();
+
+    line.valid = true;
+    line.dirty = false;
+    line.tag = tagOf(paddr);
+    return avail;
+}
+
+Tick
+Cache::load(Addr paddr, unsigned size, CachePolicy policy, Tick now)
+{
+    if (policy == CachePolicy::UNCACHEABLE) {
+        XpressBus::Grant grant = _bus.acquire(now, size);
+        // DRAM adds its access latency; device space (the NIC command
+        // pages) answers within the bus transaction.
+        bool is_dram = paddr < _mem.size();
+        return grant.end + (is_dram ? _mem.accessLatency() : 0);
+    }
+
+    const Line &line = _lines[indexOf(paddr)];
+    if (line.valid && line.tag == tagOf(paddr)) {
+        ++_hits;
+        return now + cyclesToTicks(_params.hitCycles);
+    }
+
+    ++_misses;
+    return fill(paddr, now) + cyclesToTicks(_params.hitCycles);
+}
+
+Tick
+Cache::store(Addr paddr, const void *buf, Addr len, CachePolicy policy,
+             Tick now)
+{
+    if (policy == CachePolicy::WRITE_BACK) {
+        Line &line = _lines[indexOf(paddr)];
+        Tick ready = now;
+        if (!(line.valid && line.tag == tagOf(paddr))) {
+            ++_misses;
+            ready = fill(paddr, now);   // write-allocate
+        } else {
+            ++_hits;
+        }
+        line.dirty = true;
+        _mem.write(paddr, buf, len);    // functional data is in memory
+        return ready + cyclesToTicks(_params.hitCycles);
+    }
+
+    // Write-through and uncacheable stores go to the bus via the posted
+    // write buffer; the NIC snoops them there. Write-through updates
+    // the line on a hit but does not allocate on a miss.
+    if (policy == CachePolicy::WRITE_THROUGH) {
+        const Line &line = _lines[indexOf(paddr)];
+        if (line.valid && line.tag == tagOf(paddr))
+            ++_hits;
+        else
+            ++_misses;
+    }
+
+    Tick proceed = _writeBuffer.post(_bus, paddr, buf, len, now);
+    return proceed + cyclesToTicks(_params.hitCycles);
+}
+
+XpressBus::Grant
+Cache::lockedAccess(Addr paddr, Addr bytes, Tick now)
+{
+    // x86 locked operations drain the store buffer, then hold the bus
+    // for the read and the (possible) write together.
+    Tick drained = _writeBuffer.drainedAt(now);
+    (void)paddr;
+    return _bus.acquire(drained, 2 * bytes);
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : _lines)
+        line = Line{};
+}
+
+bool
+Cache::isCached(Addr paddr) const
+{
+    const Line &line = _lines[indexOf(paddr)];
+    return line.valid && line.tag == tagOf(paddr);
+}
+
+bool
+Cache::isDirty(Addr paddr) const
+{
+    const Line &line = _lines[indexOf(paddr)];
+    return line.valid && line.tag == tagOf(paddr) && line.dirty;
+}
+
+void
+Cache::snoopWrite(Addr paddr, const void *buf, Addr len, BusMaster master)
+{
+    (void)buf;
+    if (master == BusMaster::CPU)
+        return;     // our own traffic
+
+    for (Addr a = lineBase(paddr); a < paddr + len;
+         a += _params.lineBytes) {
+        Line &line = _lines[indexOf(a)];
+        if (line.valid && line.tag == tagOf(a)) {
+            line.valid = false;
+            line.dirty = false;
+            ++_snoopInvalidations;
+        }
+    }
+}
+
+} // namespace shrimp

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Per-page cache policy, as configured in process page tables on the
+ * Xpress PC. The map() call forces mapped-out pages to write-through so
+ * the network interface can snoop every store (Section 2 of the paper).
+ */
+
+#ifndef SHRIMP_MEM_CACHE_POLICY_HH
+#define SHRIMP_MEM_CACHE_POLICY_HH
+
+#include <cstdint>
+
+namespace shrimp
+{
+
+enum class CachePolicy : std::uint8_t
+{
+    WRITE_BACK,     //!< default for ordinary pages
+    WRITE_THROUGH,  //!< required for mapped-out (snooped) pages
+    UNCACHEABLE,    //!< command pages and device space
+};
+
+/** Human-readable policy name for traces. */
+const char *cachePolicyName(CachePolicy policy);
+
+} // namespace shrimp
+
+#endif // SHRIMP_MEM_CACHE_POLICY_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * MainMemory: a node's DRAM. Functional backing store plus a fixed
+ * access latency used by the timing models that reference it.
+ */
+
+#ifndef SHRIMP_MEM_MAIN_MEMORY_HH
+#define SHRIMP_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mem/bus_interfaces.hh"
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/**
+ * A node's main memory. All functional data lives here; caches are
+ * timing-only (tags and dirty bits, no data arrays), so DMA and CPU
+ * always observe current values. This matches the Xpress PC property
+ * the paper relies on: snooping caches stay consistent with all main
+ * memory updates.
+ */
+class MainMemory : public SimObject, public BusTarget
+{
+  public:
+    MainMemory(EventQueue &eq, std::string name, Addr bytes,
+               Tick access_latency = 60 * ONE_NS)
+        : SimObject(eq, std::move(name)),
+          _data(bytes, 0),
+          _accessLatency(access_latency)
+    {
+        SHRIMP_ASSERT(bytes % PAGE_SIZE == 0,
+                      "memory size must be page aligned");
+    }
+
+    /** Memory capacity in bytes. */
+    Addr size() const { return _data.size(); }
+
+    /** Number of physical page frames. */
+    PageNum numPages() const { return _data.size() / PAGE_SIZE; }
+
+    /** DRAM access latency (row access, simplified). */
+    Tick accessLatency() const { return _accessLatency; }
+
+    /** Functional read of @p len bytes at @p paddr. */
+    void
+    read(Addr paddr, void *buf, Addr len) const
+    {
+        checkRange(paddr, len);
+        std::memcpy(buf, _data.data() + paddr, len);
+    }
+
+    /** Functional write of @p len bytes at @p paddr. */
+    void
+    write(Addr paddr, const void *buf, Addr len)
+    {
+        checkRange(paddr, len);
+        std::memcpy(_data.data() + paddr, buf, len);
+    }
+
+    /** Read a little-endian integer of @p size bytes (1/2/4/8). */
+    std::uint64_t
+    readInt(Addr paddr, unsigned size) const
+    {
+        SHRIMP_ASSERT(size <= 8, "bad integer size ", size);
+        std::uint64_t v = 0;
+        read(paddr, &v, size);
+        return v;
+    }
+
+    /** Write a little-endian integer of @p size bytes (1/2/4/8). */
+    void
+    writeInt(Addr paddr, std::uint64_t v, unsigned size)
+    {
+        SHRIMP_ASSERT(size <= 8, "bad integer size ", size);
+        write(paddr, &v, size);
+    }
+
+    // BusTarget interface
+    std::uint64_t
+    busRead(Addr paddr, unsigned size) override
+    {
+        return readInt(paddr, size);
+    }
+
+    void
+    busWrite(Addr paddr, const void *buf, Addr len) override
+    {
+        write(paddr, buf, len);
+    }
+
+  private:
+    void
+    checkRange(Addr paddr, Addr len) const
+    {
+        SHRIMP_ASSERT(paddr + len <= _data.size() && paddr + len >= paddr,
+                      "memory access out of range: addr=", paddr,
+                      " len=", len, " size=", _data.size());
+    }
+
+    std::vector<std::uint8_t> _data;
+    Tick _accessLatency;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,51 @@
+#include "msg/common.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+void
+emitCopyWords(Program &p, Reg src_reg, Reg dst_reg, Reg count_bytes_reg,
+              std::uint8_t overhead_region,
+              const std::string &label_prefix)
+{
+    // Fixed overhead: round the byte count up to words and test for
+    // empty. (Attributed to the caller's current region.)
+    p.addi(count_bytes_reg, 3);
+    p.shri(count_bytes_reg, 2);
+    p.cmpi(count_bytes_reg, 0);
+    p.jz(label_prefix + "_done");
+
+    // Per-word costs are data movement, not overhead.
+    p.mark(region::DATA);
+    p.label(label_prefix + "_loop");
+    p.ld(R0, src_reg, 0, 4);
+    p.st(dst_reg, 0, R0, 4);
+    p.addi(src_reg, 4);
+    p.addi(dst_reg, 4);
+    p.subi(count_bytes_reg, 1);
+    p.cmpi(count_bytes_reg, 0);
+    p.jnz(label_prefix + "_loop");
+    p.mark(overhead_region);
+
+    p.label(label_prefix + "_done");
+}
+
+void
+emitBarrier(Program &p, Addr my_flag, Addr peer_flag, Reg round_reg,
+            const std::string &label_prefix)
+{
+    p.mark(region::NONE);
+    p.addi(round_reg, 1);
+    p.movi(R0, my_flag);
+    p.st(R0, 0, round_reg, 4);
+    p.movi(R0, peer_flag);
+    p.label(label_prefix + "_spin");
+    p.ld(R1, R0, 0, 4);
+    p.cmp(R1, round_reg);
+    p.jl(label_prefix + "_spin");
+}
+
+} // namespace msg
+} // namespace shrimp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared conventions for the user-level message passing library.
+ *
+ * The library mirrors the paper's Section 5.2: each primitive is a
+ * small macro (here: an emitter appending mini-ISA code to a Program)
+ * built on the virtual memory-mapped interface. Instruction counts of
+ * the emitted fast paths reproduce Table 1.
+ *
+ * Register conventions used by the emitters (callers preload the
+ * "setup" registers outside measured regions, exactly as the paper
+ * excludes one-time setup from per-message overhead):
+ *
+ *   R0  accumulator (CMPXCHG); scratch
+ *   R1  scratch / loaded flag values / message size
+ *   R2  scratch / word counts
+ *   R3  current buffer pointer (double buffering)
+ *   R4  buffer-pointer XOR delta (double buffering)
+ *   R5  iteration/sequence number
+ *   R6  preloaded flag/ack address
+ *   R7  stack pointer
+ */
+
+#ifndef SHRIMP_MSG_COMMON_HH
+#define SHRIMP_MSG_COMMON_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/exec_context.hh"
+#include "cpu/program.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+/**
+ * Emit a word-copy loop: copies @p count_bytes_reg bytes (rounded up
+ * to words) from the address in @p src_reg to the address in
+ * @p dst_reg. The fixed setup instructions are attributed to the
+ * caller's current region; the per-word loop body is attributed to
+ * region::DATA ("per-byte copying costs", which Table 1 excludes).
+ * Clobbers R0, and the three argument registers.
+ *
+ * @param overhead_region region to restore after the DATA loop
+ */
+void emitCopyWords(Program &p, Reg src_reg, Reg dst_reg,
+                   Reg count_bytes_reg, std::uint8_t overhead_region,
+                   const std::string &label_prefix);
+
+/**
+ * Emit a simple two-process barrier over a pair of bidirectional
+ * automatic-update flag words (each side increments its own flag and
+ * spins on the peer's). Used by the double-buffering cases whose
+ * loops are barrier-synchronized; the paper does not count barrier
+ * cost as message-passing overhead, so the emitted code is attributed
+ * to region::NONE.
+ *
+ * Clobbers R0 and R1. @p my_flag / @p peer_flag are virtual
+ * addresses; @p round_reg holds the barrier round (incremented here).
+ */
+void emitBarrier(Program &p, Addr my_flag, Addr peer_flag,
+                 Reg round_reg, const std::string &label_prefix);
+
+} // namespace msg
+} // namespace shrimp
+
+#endif // SHRIMP_MSG_COMMON_HH

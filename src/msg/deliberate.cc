@@ -1,0 +1,100 @@
+#include "msg/deliberate.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+void
+emitDeliberateSendSingle(Program &p, std::int64_t cmd_delta,
+                         const std::string &label_prefix,
+                         const std::string &multi_label)
+{
+    // 13 instructions on the single-page fast path (Table 1), for a
+    // word-multiple byte count in R1 and the base address in R3.
+    p.mov(R4, R3);                          // 1: base
+    p.andi(R4, PAGE_OFFSET_MASK);           // 2: offset in page
+    p.movi(R5, PAGE_SIZE);                  // 3
+    p.sub(R5, R4);                          // 4: room to page end
+    p.cmp(R5, R1);                          // 5: fits in this page?
+    p.jl(multi_label);                      // 6: no -> page series
+    p.mov(R2, R1);                          // 7: byte count
+    p.shri(R2, 2);                          // 8: word count
+    p.mov(R4, R3);                          // 9: command address =
+    p.addi(R4, cmd_delta);                  // 10:   base + window delta
+    p.label(label_prefix + "_claim");
+    p.movi(R0, 0);                          // 11: clear accumulator
+    p.cmpxchg(R4, 0, R2, 4);                // 12: locked claim + start
+    p.jnz(label_prefix + "_claim");         // 13: retry while busy
+}
+
+void
+emitDeliberateCheck(Program &p)
+{
+    // 2 instructions (Table 1): a command-page read returns 0 when
+    // the engine is free, else words-remaining + address-match status.
+    p.ld(R1, R4, 0, 4);                     // 1: status
+    p.cmpi(R1, 0);                          // 2: done?
+}
+
+void
+emitDeliberateSendBackoff(Program &p, std::int64_t cmd_delta,
+                          const std::string &label_prefix)
+{
+    // Word count and command address, as in the plain macro.
+    p.mov(R2, R1);
+    p.shri(R2, 2);
+    p.mov(R4, R3);
+    p.addi(R4, cmd_delta);
+
+    p.label(label_prefix + "_claim");
+    p.movi(R0, 0);
+    p.cmpxchg(R4, 0, R2, 4);
+    p.jz(label_prefix + "_done");
+
+    // Busy: R0 now holds (words_remaining << 1) | addr_match. Back
+    // off for a time proportional to the remaining words -- roughly
+    // the time the engine needs -- instead of spinning locked cycles
+    // on the bus.
+    p.shri(R0, 3);      // (status >> 1) / 4 = words remaining / 4
+    p.label(label_prefix + "_backoff");
+    p.cmpi(R0, 0);
+    p.jz(label_prefix + "_claim");
+    p.subi(R0, 1);
+    p.jmp(label_prefix + "_backoff");
+
+    p.label(label_prefix + "_done");
+}
+
+void
+emitDeliberateSendMulti(Program &p, std::int64_t cmd_delta,
+                        const std::string &multi_label,
+                        const std::string &resume_label)
+{
+    // Series of single-page transfers: R3 = cursor, R1 = bytes left,
+    // R5 = room in the current page (already computed by the fast
+    // path on entry). The claim spin naturally overlaps preparing the
+    // next command with the current transfer's outgoing DMA.
+    p.label(multi_label);
+    p.cmp(R1, R5);
+    p.jge(multi_label + "_chunk");
+    p.mov(R5, R1);                          // last, partial chunk
+    p.label(multi_label + "_chunk");
+    p.mov(R2, R5);
+    p.shri(R2, 2);
+    p.mov(R4, R3);
+    p.addi(R4, cmd_delta);
+    p.label(multi_label + "_claim");
+    p.movi(R0, 0);
+    p.cmpxchg(R4, 0, R2, 4);
+    p.jnz(multi_label + "_claim");
+    p.add(R3, R5);                          // advance cursor
+    p.sub(R1, R5);                          // bytes left
+    p.cmpi(R1, 0);
+    p.jz(resume_label);
+    p.movi(R5, PAGE_SIZE);                  // full pages from now on
+    p.jmp(multi_label);
+}
+
+} // namespace msg
+} // namespace shrimp

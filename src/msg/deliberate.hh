@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The deliberate-update send macro (paper Section 4.3 / 5.2).
+ *
+ * Data written to a deliberate-update page moves only when the
+ * process issues an explicit send through the VM-mapped command page:
+ * it clears the accumulator, loads the word count, and performs a
+ * locked CMPXCHG to the command address corresponding to the
+ * transfer's base until the read cycle returns zero (engine free) and
+ * the write cycle starts the transfer.
+ *
+ * The emitted macro handles the paper's page-boundary rule (one page
+ * maximum per command; larger sends issue a series of single-page
+ * transfers, preparing the next while the current one drains) and
+ * reproduces Table 1's costs: 13 instructions to initiate a
+ * single-page transfer and 2 to check completion.
+ */
+
+#ifndef SHRIMP_MSG_DELIBERATE_HH
+#define SHRIMP_MSG_DELIBERATE_HH
+
+#include "msg/common.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+/**
+ * Emit the single-transfer deliberate send fast path (13
+ * instructions when the data fits in one page). Inputs: R3 = buffer
+ * virtual address, R1 = byte count. @p cmd_delta is the constant
+ * distance from the data window to its command window in the
+ * process's virtual address space (kernel-provided at map time).
+ * Falls through when the transfer has been accepted; larger-than-
+ * one-page requests branch to @p multi_label (see
+ * emitDeliberateSendMulti). Clobbers R0-R5.
+ */
+void emitDeliberateSendSingle(Program &p, std::int64_t cmd_delta,
+                              const std::string &label_prefix,
+                              const std::string &multi_label);
+
+/**
+ * Emit the completion check (2 instructions: a command-page load and
+ * a test). R4 must still hold the command address of the transfer
+ * (left there by the send macro). ZF is set when the engine is free.
+ */
+void emitDeliberateCheck(Program &p);
+
+/**
+ * Emit the multi-page loop body at @p multi_label: issues single-page
+ * transfers back to back, preparing each command while the previous
+ * DMA drains, and returns to @p resume_label when every page has been
+ * accepted. Clobbers R0-R5.
+ */
+void emitDeliberateSendMulti(Program &p, std::int64_t cmd_delta,
+                             const std::string &multi_label,
+                             const std::string &resume_label);
+
+/**
+ * Emit a deliberate send whose claim loop backs off while the engine
+ * is busy, using the feature Section 4.3 describes: a busy read
+ * returns the number of words remaining, so the retry delay is made
+ * proportional to it instead of hammering the memory bus with locked
+ * cycles. Inputs: R3 = base address (single page), R1 = byte count.
+ * Clobbers R0-R5. Counts more instructions than the plain macro when
+ * contended but issues far fewer locked bus transactions.
+ */
+void emitDeliberateSendBackoff(Program &p, std::int64_t cmd_delta,
+                               const std::string &label_prefix);
+
+} // namespace msg
+} // namespace shrimp
+
+#endif // SHRIMP_MSG_DELIBERATE_HH

@@ -1,0 +1,59 @@
+#include "msg/double_buffer.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+void
+emitDbSwap(Program &p)
+{
+    p.xor_(R3, R4);                         // 1: toggle buffer
+}
+
+void
+emitDb2Send(Program &p)
+{
+    p.addi(R5, 1);                          // 1: next sequence
+    p.st(R6, 0, R5, 4);                     // 2: publish data-arrival
+    p.xor_(R3, R4);                         // 3: swap
+}
+
+void
+emitDb2Recv(Program &p, const std::string &label_prefix)
+{
+    p.addi(R5, 1);                          // 1: expected sequence
+    p.label(label_prefix + "_spin");
+    p.ld(R1, R6, 0, 4);                     // 2: load flag
+    p.cmp(R1, R5);                          // 3: arrived?
+    p.jl(label_prefix + "_spin");           // 4: spin
+    p.xor_(R3, R4);                         // 5: swap
+}
+
+void
+emitDb3Send(Program &p, const std::string &label_prefix)
+{
+    // R0 holds R5 - 2, maintained by the application loop alongside
+    // the iteration counter itself: the previous contents of the
+    // buffer being reused were sent two iterations ago.
+    p.label(label_prefix + "_ack");
+    p.ld(R1, R2, 0, 4);                     // 1: load ack
+    p.cmp(R1, R0);                          // 2: previous consumed?
+    p.jl(label_prefix + "_ack");            // 3: spin
+    p.st(R6, 0, R5, 4);                     // 4: publish this iteration
+    p.xor_(R3, R4);                         // 5: swap
+}
+
+void
+emitDb3Recv(Program &p, const std::string &label_prefix)
+{
+    p.label(label_prefix + "_data");
+    p.ld(R1, R6, 0, 4);                     // 1: load data flag
+    p.cmp(R1, R5);                          // 2: this iteration's data?
+    p.jl(label_prefix + "_data");           // 3: spin
+    p.st(R2, 0, R5, 4);                     // 4: ack consumption
+    p.xor_(R3, R4);                         // 5: swap
+}
+
+} // namespace msg
+} // namespace shrimp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Double-buffered transfer (paper Section 5.2, Figure 6): the loop is
+ * unrolled once and two buffers alternate, so consumption of one
+ * message overlaps transmission of the next. The per-iteration
+ * overhead depends on the loop's synchronization structure; the paper
+ * distinguishes three cases (Table 1):
+ *
+ *  case 1: iteration i+1 uses data of iteration i; the surrounding
+ *          barrier provides all synchronization. Overhead: 1 + 1
+ *          (swap the buffer pointer on each side).
+ *  case 2: the receiver uses data sent in the same iteration, so it
+ *          spins on a data-arrival flag; the barrier still covers the
+ *          sender. Overhead: 3 + 5.
+ *  case 3: no barrier; messages synchronize everything -- receiver
+ *          spins for arrival, sender waits for the consumption ack
+ *          before reuse. Overhead: 5 + 5.
+ *
+ * Conventions: R3 = current buffer pointer, R4 = XOR delta between
+ * the two buffer addresses, R5 = iteration number (maintained by the
+ * application loop, not counted), R6 = flag address, R1 = scratch.
+ */
+
+#ifndef SHRIMP_MSG_DOUBLE_BUFFER_HH
+#define SHRIMP_MSG_DOUBLE_BUFFER_HH
+
+#include "msg/common.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+/** Case 1, both sides: swap the buffer pointer (1 instruction). */
+void emitDbSwap(Program &p);
+
+/**
+ * Case 2, sender (3): bump the sequence, publish it through the
+ * mapped flag, swap. R6 = outgoing flag address, R5 = sequence.
+ */
+void emitDb2Send(Program &p);
+
+/**
+ * Case 2, receiver (5): expect the next sequence, spin for it on the
+ * mapped-in flag, swap. R6 = incoming flag address, R5 = sequence.
+ */
+void emitDb2Recv(Program &p, const std::string &label_prefix);
+
+/**
+ * Case 3, sender (5): wait for the ack of the previous use of this
+ * buffer, publish the new iteration's flag, swap. R6 = outgoing data
+ * flag address, R2 = incoming ack address, R5 = iteration and
+ * R0 = iteration - 2 (both maintained by the application loop;
+ * iterations start at 2 so R0 starts at 0).
+ */
+void emitDb3Send(Program &p, const std::string &label_prefix);
+
+/**
+ * Case 3, receiver (5): spin for this iteration's data flag, ack the
+ * consumption, swap. R6 = incoming data flag address, R2 = outgoing
+ * ack address, R5 = iteration.
+ */
+void emitDb3Recv(Program &p, const std::string &label_prefix);
+
+} // namespace msg
+} // namespace shrimp
+
+#endif // SHRIMP_MSG_DOUBLE_BUFFER_HH

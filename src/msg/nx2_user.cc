@@ -1,0 +1,107 @@
+#include "msg/nx2_user.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+void
+emitNx2Csend(Program &p, const Nx2SenderView &view,
+             const std::string &fn_label)
+{
+    p.label(fn_label);
+    p.mark(region::SEND);
+    p.push(R4);
+    p.push(R5);
+    p.push(R6);
+    p.movi(R6, view.stateVaddr);
+    p.ld(R4, R6, 0, 4);                     // messages sent so far
+
+    // Flow control: wait until sent - credited < ring slots.
+    p.label(fn_label + "_credit");
+    p.movi(R5, view.creditVaddr);
+    p.ld(R0, R5, 0, 4);
+    p.addi(R0, nx2RingSlots);
+    p.cmp(R4, R0);
+    p.jge(fn_label + "_credit");
+
+    // Slot address for message R4.
+    p.mov(R0, R4);
+    p.andi(R0, nx2RingSlots - 1);
+    p.shli(R0, 10);
+    p.movi(R5, view.ringVaddr);
+    p.add(R5, R0);
+
+    // Header: type and length. The ring page is mapped blocked-write,
+    // so these stores and the payload merge into few packets.
+    p.st(R5, 4, R1, 4);
+    p.st(R5, 8, R3, 4);
+
+    p.mov(R1, R4);                          // R1 <- seq (type done)
+    p.mov(R4, R5);                          // R4 <- slot base
+    p.addi(R5, nx2PayloadOffset);           // copy destination
+    emitCopyWords(p, R2, R5, R3, region::SEND, fn_label + "_cp");
+
+    // Doorbell last: a visible seq+1 implies a complete message.
+    p.addi(R1, 1);
+    p.st(R4, 0, R1, 4);
+    p.st(R6, 0, R1, 4);                     // sent count
+
+    p.pop(R6);
+    p.pop(R5);
+    p.pop(R4);
+    p.mark(region::NONE);
+    p.ret();
+}
+
+void
+emitNx2Crecv(Program &p, const Nx2ReceiverView &view,
+             const std::string &fn_label,
+             const std::string &error_label)
+{
+    p.label(fn_label);
+    p.mark(region::RECV);
+    p.push(R4);
+    p.push(R5);
+    p.push(R6);
+    p.movi(R6, view.stateVaddr);
+    p.ld(R4, R6, 0, 4);                     // messages consumed
+
+    // Slot of the next message.
+    p.mov(R0, R4);
+    p.andi(R0, nx2RingSlots - 1);
+    p.shli(R0, 10);
+    p.movi(R5, view.ringVaddr);
+    p.add(R5, R0);
+    p.addi(R4, 1);                          // expected doorbell
+
+    p.label(fn_label + "_spin");
+    p.ld(R0, R5, 0, 4);
+    p.cmp(R0, R4);
+    p.jl(fn_label + "_spin");
+
+    // FIFO-per-type dispatch with a single sender per type reduces to
+    // a type check.
+    p.ld(R0, R5, 4, 4);
+    p.cmp(R0, R1);
+    p.jnz(error_label);
+
+    p.ld(R3, R5, 8, 4);                     // nbytes
+    p.mov(R1, R3);                          // keep for the return value
+    p.addi(R5, nx2PayloadOffset);           // payload source
+    emitCopyWords(p, R5, R2, R3, region::RECV, fn_label + "_cp");
+
+    p.st(R6, 0, R4, 4);                     // consumed count
+    p.movi(R5, view.creditVaddr);
+    p.st(R5, 0, R4, 4);                     // return credit
+    p.mov(R0, R1);                          // return nbytes
+
+    p.pop(R6);
+    p.pop(R5);
+    p.pop(R4);
+    p.mark(region::NONE);
+    p.ret();
+}
+
+} // namespace msg
+} // namespace shrimp

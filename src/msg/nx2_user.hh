@@ -1,0 +1,83 @@
+/**
+ * @file
+ * User-level NX/2-style csend/crecv (paper Section 5.2, "NX/2
+ * Primitives").
+ *
+ * The paper implements the standard Intel NX/2 send/receive
+ * semantics -- typed messages, FIFO dispatch per type, buffering --
+ * entirely at user level on top of the virtual memory-mapped
+ * interface: buffer management moves out of the kernel, so the
+ * user/kernel crossing and both kernel copies disappear. Message
+ * types are 16-bit and each type has a single sender (the paper's
+ * restriction).
+ *
+ * Implementation: a unidirectional connection is a 4-slot ring of
+ * 1 KB slots in a page mapped sender -> receiver with blocked-write
+ * automatic update, plus a credit word mapped receiver -> sender.
+ * A slot is [seq, type, nbytes, payload]; the sequence word is
+ * written last, so (with in-order delivery) a visible sequence
+ * implies a complete message. The receiver returns flow-control
+ * credit by writing the consumed count through its reverse mapping.
+ *
+ * The emitted csend/crecv are real subroutines (CALL/RET, saved
+ * registers), and their fast paths are what the Table 1 harness
+ * measures against the kernel-level NX/2 baseline (222/261
+ * instructions plus syscalls and interrupts).
+ */
+
+#ifndef SHRIMP_MSG_NX2_USER_HH
+#define SHRIMP_MSG_NX2_USER_HH
+
+#include "msg/common.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+/** Ring geometry. */
+constexpr std::uint64_t nx2RingSlots = 4;
+constexpr Addr nx2SlotBytes = 1024;
+constexpr Addr nx2PayloadOffset = 12;
+constexpr Addr nx2MaxPayload = nx2SlotBytes - nx2PayloadOffset;
+
+/** Sender-side addresses of one connection (all in its own VA). */
+struct Nx2SenderView
+{
+    Addr ringVaddr = 0;     //!< mapped-out ring page
+    Addr creditVaddr = 0;   //!< mapped-in credit word
+    Addr stateVaddr = 0;    //!< private word: messages sent
+};
+
+/** Receiver-side addresses of one connection. */
+struct Nx2ReceiverView
+{
+    Addr ringVaddr = 0;     //!< mapped-in ring page
+    Addr creditVaddr = 0;   //!< mapped-out credit word
+    Addr stateVaddr = 0;    //!< private word: messages consumed
+};
+
+/**
+ * Emit the csend subroutine at label @p fn_label.
+ * Call with R1 = type, R2 = buffer vaddr, R3 = nbytes (word multiple,
+ * <= nx2MaxPayload). Clobbers R0-R5. The fast path is attributed to
+ * region::SEND, the payload copy to region::DATA.
+ */
+void emitNx2Csend(Program &p, const Nx2SenderView &view,
+                  const std::string &fn_label);
+
+/**
+ * Emit the crecv subroutine at label @p fn_label.
+ * Call with R1 = expected type, R2 = destination buffer vaddr.
+ * Returns R0 = nbytes. A type mismatch (violating the single-sender-
+ * per-type restriction) jumps to @p error_label. Clobbers R1-R5.
+ * Fast path attributed to region::RECV, the copy to region::DATA.
+ */
+void emitNx2Crecv(Program &p, const Nx2ReceiverView &view,
+                  const std::string &fn_label,
+                  const std::string &error_label);
+
+} // namespace msg
+} // namespace shrimp
+
+#endif // SHRIMP_MSG_NX2_USER_HH

@@ -1,0 +1,61 @@
+#include "msg/single_buffer.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+void
+emitSbWaitEmpty(Program &p, const std::string &label_prefix)
+{
+    p.label(label_prefix + "_empty");
+    p.ld(R1, R6, 0, 4);                     // 1: load nbytes
+    p.cmpi(R1, 0);                          // 2: empty?
+    p.jnz(label_prefix + "_empty");         // 3: spin while full
+}
+
+void
+emitSbPublish(Program &p, std::uint32_t nbytes)
+{
+    p.sti(R6, 0, nbytes, 4);                // 4: nbytes <- size
+}
+
+void
+emitSbWaitData(Program &p, const std::string &label_prefix)
+{
+    p.label(label_prefix + "_data");
+    p.ld(R1, R6, 0, 4);                     // 1: load nbytes
+    p.cmpi(R1, 0);                          // 2: arrived?
+    p.jz(label_prefix + "_data");           // 3: spin while empty
+    p.mov(R2, R1);                          // 4: keep the size
+}
+
+void
+emitSbRelease(Program &p)
+{
+    p.sti(R6, 0, 0, 4);                     // 5: nbytes <- 0
+}
+
+void
+emitSbCopyOut(Program &p, Addr buf_vaddr, Addr dst_vaddr,
+              std::uint8_t overhead_region,
+              const std::string &label_prefix)
+{
+    // 12 fixed instructions: set up source, destination and count for
+    // the copy (including saving/restoring the registers a library
+    // routine may not clobber), then the shared word-copy loop whose
+    // 4 fixed instructions are part of this total.
+    p.push(R3);                             // 1
+    p.push(R4);                             // 2
+    p.movi(R3, buf_vaddr);                  // 3
+    p.movi(R4, dst_vaddr);                  // 4
+    p.mov(R5, R2);                          // 5: count for the loop
+    p.mov(R0, R5);                          // 6: (size kept for caller)
+    // 7-10: emitCopyWords fixed overhead (round up, test-empty)
+    emitCopyWords(p, R3, R4, R5, overhead_region, label_prefix + "_cp");
+    p.pop(R4);                              // 11
+    p.pop(R3);                              // 12
+}
+
+} // namespace msg
+} // namespace shrimp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Single-buffered send/receive (paper Section 5.2, Figure 5).
+ *
+ * One memory buffer, mapped from sender to receiver with automatic
+ * update, plus a single `nbytes` flag word mapped for bidirectional
+ * automatic update, synchronizes the two processes:
+ *
+ *   sender:   wait nbytes == 0; fill buffer; nbytes = size
+ *   receiver: wait nbytes != 0; consume;     nbytes = 0
+ *
+ * Emitted fast-path costs (Table 1): 4 instructions on the sender
+ * (3-instruction empty-check executed once plus the flag store) and 5
+ * on the receiver (3-instruction arrival check, saving the size, and
+ * the flag clear). The optional receive-side copy adds 12 fixed
+ * instructions plus per-word costs attributed to region::DATA.
+ */
+
+#ifndef SHRIMP_MSG_SINGLE_BUFFER_HH
+#define SHRIMP_MSG_SINGLE_BUFFER_HH
+
+#include "msg/common.hh"
+
+namespace shrimp
+{
+namespace msg
+{
+
+/**
+ * Sender fast path: wait-until-empty then publish. The caller emits
+ * the data stores into the mapped buffer between the two calls (those
+ * stores ARE the message; the paper counts only synchronization as
+ * overhead). R6 must hold the flag's virtual address. Clobbers R1.
+ */
+void emitSbWaitEmpty(Program &p, const std::string &label_prefix);
+
+/** Publish the message: nbytes <- size (one store). */
+void emitSbPublish(Program &p, std::uint32_t nbytes);
+
+/**
+ * Receiver fast path: wait for data, keep the size in R2, release the
+ * buffer. R6 must hold the flag's virtual address. Clobbers R1, R2.
+ */
+void emitSbWaitData(Program &p, const std::string &label_prefix);
+void emitSbRelease(Program &p);
+
+/**
+ * Receive-side copy of the arrived message out of the receive buffer
+ * (12 fixed instructions + per-word DATA costs). @p buf_vaddr is the
+ * receive buffer, @p dst_vaddr the private destination; the byte
+ * count is taken from R2 (set by emitSbWaitData). Clobbers R0-R5.
+ */
+void emitSbCopyOut(Program &p, Addr buf_vaddr, Addr dst_vaddr,
+                   std::uint8_t overhead_region,
+                   const std::string &label_prefix);
+
+} // namespace msg
+} // namespace shrimp
+
+#endif // SHRIMP_MSG_SINGLE_BUFFER_HH

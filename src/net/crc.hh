@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CRC-16/CCITT-FALSE, the per-packet checksum the SHRIMP network
+ * interface appends to detect network errors (Section 3.1).
+ */
+
+#ifndef SHRIMP_NET_CRC_HH
+#define SHRIMP_NET_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shrimp
+{
+
+/** Incremental CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF). */
+class Crc16
+{
+  public:
+    /** Feed @p len bytes. */
+    void
+    update(const void *data, std::size_t len)
+    {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            _crc ^= static_cast<std::uint16_t>(bytes[i]) << 8;
+            for (int bit = 0; bit < 8; ++bit) {
+                if (_crc & 0x8000)
+                    _crc = static_cast<std::uint16_t>((_crc << 1) ^ 0x1021);
+                else
+                    _crc = static_cast<std::uint16_t>(_crc << 1);
+            }
+        }
+    }
+
+    /** Feed one little-endian integer of @p size bytes. */
+    void
+    updateInt(std::uint64_t v, unsigned size)
+    {
+        update(&v, size);
+    }
+
+    std::uint16_t value() const { return _crc; }
+
+  private:
+    std::uint16_t _crc = 0xFFFF;
+};
+
+/** One-shot convenience. */
+inline std::uint16_t
+crc16(const void *data, std::size_t len)
+{
+    Crc16 crc;
+    crc.update(data, len);
+    return crc.value();
+}
+
+} // namespace shrimp
+
+#endif // SHRIMP_NET_CRC_HH

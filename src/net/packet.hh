@@ -1,0 +1,73 @@
+/**
+ * @file
+ * NetPacket: the packet format carried by the routing backplane.
+ *
+ * Per Section 3.1, a packet consists of routing information, the
+ * absolute mesh coordinates of the intended receiver, a destination
+ * memory address, data, and a CRC checksum. The receiver verifies the
+ * coordinates and the CRC to detect misrouting and corruption.
+ */
+
+#ifndef SHRIMP_NET_PACKET_HH
+#define SHRIMP_NET_PACKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/crc.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** A backplane packet. */
+struct NetPacket
+{
+    /** Wire overhead: route info + coords + address field. */
+    static constexpr Addr headerBytes = 16;
+    /** Wire overhead of the trailing checksum. */
+    static constexpr Addr crcBytes = 2;
+
+    NodeId srcNode = INVALID_NODE;
+    NodeId dstNode = INVALID_NODE;
+    std::uint16_t dstX = 0;     //!< absolute mesh coords of receiver
+    std::uint16_t dstY = 0;
+    Addr dstPaddr = 0;          //!< destination physical memory address
+    std::vector<std::uint8_t> payload;
+    std::uint16_t crc = 0;
+
+    // ---- simulation bookkeeping (not on the wire) ----
+    Tick injectedAt = 0;        //!< when the source NIC injected it
+    std::uint64_t seq = 0;      //!< per-source sequence, for order checks
+
+    /** Total bytes this packet occupies on a link. */
+    Addr
+    wireBytes() const
+    {
+        return headerBytes + payload.size() + crcBytes;
+    }
+
+    /** Compute the CRC over header fields and payload. */
+    std::uint16_t
+    computeCrc() const
+    {
+        Crc16 c;
+        c.updateInt(srcNode, 4);
+        c.updateInt(dstX, 2);
+        c.updateInt(dstY, 2);
+        c.updateInt(dstPaddr, 8);
+        if (!payload.empty())
+            c.update(payload.data(), payload.size());
+        return c.value();
+    }
+
+    /** Seal the packet: stamp the CRC field. */
+    void sealCrc() { crc = computeCrc(); }
+
+    /** Verify integrity (as the receiving NIC does). */
+    bool crcOk() const { return crc == computeCrc(); }
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_NET_PACKET_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Router: one node of the Paragon-style routing backplane -- an
+ * iMRC-like 5-port mesh router with deterministic dimension-order
+ * (X then Y) routing, which is oblivious and deadlock-free and, with
+ * FIFO links, preserves per-sender/receiver packet order. These are
+ * exactly the three properties Section 3 of the paper relies on.
+ *
+ * Timing is virtual cut-through at packet granularity: a hop charges a
+ * fixed routing latency for the header plus wire serialization for the
+ * body, and serialization pipelines across hops. Backpressure is
+ * credit-based on input buffer slots; a full incoming FIFO at a NIC
+ * stalls ejection, filling router buffers backwards exactly as the
+ * paper's flow-control description requires.
+ */
+
+#ifndef SHRIMP_NET_ROUTER_HH
+#define SHRIMP_NET_ROUTER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/random.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace shrimp
+{
+
+/**
+ * Where ejected packets go: implemented by the node's network
+ * interface chip. A sink that reports not-ready exerts backpressure
+ * into the mesh ("the NIC will cease to accept more packets").
+ */
+class NetworkSink
+{
+  public:
+    virtual ~NetworkSink() = default;
+
+    /** Can the sink take a packet right now? */
+    virtual bool sinkReady() const = 0;
+
+    /** Deliver a fully received packet at the current tick. */
+    virtual void sinkDeliver(NetPacket &&pkt) = 0;
+};
+
+/** Mesh router. */
+class Router : public SimObject
+{
+  public:
+    enum Port : unsigned
+    {
+        LOCAL = 0,
+        EAST,
+        WEST,
+        NORTH,
+        SOUTH,
+        NUM_PORTS,
+    };
+
+    struct Params
+    {
+        unsigned inputBufferPackets = 4;
+        Tick routingLatency = 40 * ONE_NS;  //!< header decision per hop
+        Tick linkLatency = 8 * ONE_NS;      //!< wire propagation
+        /** 16-bit-flit Paragon-style links; comfortably more than
+         *  twice the EISA bottleneck, as the paper requires. */
+        std::uint64_t linkBytesPerSec = 80'000'000;
+    };
+
+    Router(EventQueue &eq, std::string name, unsigned x, unsigned y,
+           const Params &params);
+
+    unsigned x() const { return _x; }
+    unsigned y() const { return _y; }
+
+    /** Wire our output port @p out to @p nbr's input port @p nbr_in. */
+    void connect(Port out, Router *nbr, Port nbr_in);
+
+    /** Attach the local node's ejection sink. */
+    void setSink(NetworkSink *sink) { _sink = sink; }
+
+    /**
+     * Register a callback invoked whenever the LOCAL input port (the
+     * injection queue) frees a slot; the NIC uses it to retry
+     * injection after backpressure.
+     */
+    void
+    setInjectWaiter(std::function<void()> fn)
+    {
+        _injectWaiter = std::move(fn);
+    }
+
+    /** Is there an injection buffer slot free? */
+    bool injectReady() const { return hasCredit(LOCAL); }
+
+    /**
+     * Inject a packet from the local NIC. The caller must have checked
+     * injectReady().
+     */
+    void inject(NetPacket &&pkt);
+
+    /**
+     * The local sink became ready again (incoming FIFO drained below
+     * its threshold); retry ejection.
+     */
+    void sinkReadyAgain() { scheduleAdvance(curTick()); }
+
+    /**
+     * Fault injection: flip one payload bit in each forwarded packet
+     * with probability @p per_packet_prob (deterministic given
+     * @p seed). The receiving NI's CRC check must catch every one
+     * (Section 3.1); corrupted packets are dropped and counted, never
+     * delivered.
+     */
+    void
+    setErrorInjection(double per_packet_prob, std::uint64_t seed)
+    {
+        _errorProb = per_packet_prob;
+        _errorRng = Rng(seed);
+    }
+
+    std::uint64_t errorsInjected() const { return _errorsInjected; }
+
+    // ---- used by the upstream router ----
+    bool hasCredit(Port in) const;
+    void reserveCredit(Port in);
+    void headerArrive(Port in, NetPacket &&pkt, Tick ready);
+    void addCreditWaiter(Port in, std::function<void()> fn);
+
+    /** Serialization time of @p pkt on our links. */
+    Tick
+    serializationTime(const NetPacket &pkt) const
+    {
+        return (pkt.wireBytes() * ONE_SEC + _params.linkBytesPerSec - 1) /
+               _params.linkBytesPerSec;
+    }
+
+    std::uint64_t packetsForwarded() const { return _forwarded.value(); }
+    std::uint64_t packetsEjected() const { return _ejected.value(); }
+    stats::Group &statGroup() { return _stats; }
+
+  private:
+    struct Entry
+    {
+        NetPacket pkt;
+        Tick ready;     //!< header decoded; eligible to forward
+    };
+
+    struct InputPort
+    {
+        std::deque<Entry> queue;
+        unsigned reserved = 0;  //!< slots claimed (queued or in flight)
+        std::vector<std::function<void()>> waiters;
+    };
+
+    /** Dimension-order routing decision. */
+    Port routeOf(const NetPacket &pkt) const;
+
+    /** Try to make forwarding progress on every input port. */
+    void advance();
+
+    /** Schedule advance() at @p when (keeps the earliest request). */
+    void scheduleAdvance(Tick when);
+
+    /** Release one buffer slot of @p in and wake its waiters. */
+    void releaseCredit(Port in);
+
+    unsigned _x, _y;
+    Params _params;
+    std::array<InputPort, NUM_PORTS> _inputs;
+    std::array<Router *, NUM_PORTS> _neighbor{};
+    std::array<Port, NUM_PORTS> _neighborIn{};
+    std::array<Tick, NUM_PORTS> _outBusyUntil{};
+    NetworkSink *_sink = nullptr;
+    std::function<void()> _injectWaiter;
+    EventFunctionWrapper _advanceEvent;
+    double _errorProb = 0.0;
+    Rng _errorRng{0};
+    std::uint64_t _errorsInjected = 0;
+
+    stats::Group _stats;
+    stats::Counter _forwarded{"forwarded", "packets forwarded"};
+    stats::Counter _ejected{"ejected", "packets ejected to the sink"};
+    stats::Counter _injected{"injected", "packets injected locally"};
+    stats::Counter _blockedOnCredit{"blockedOnCredit",
+                                    "forward attempts blocked on credit"};
+    stats::Counter _blockedOnSink{"blockedOnSink",
+                                  "ejections blocked by a busy sink"};
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_NET_ROUTER_HH

@@ -1,0 +1,127 @@
+#include "nic/deliberate_dma.hh"
+
+#include "net/packet.hh"
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+DeliberateDma::DeliberateDma(EventQueue &eq, std::string name,
+                             const Params &params, XpressBus &bus,
+                             MainMemory &mem, Hooks hooks)
+    : SimObject(eq, std::move(name)),
+      _params(params),
+      _bus(bus),
+      _mem(mem),
+      _hooks(std::move(hooks)),
+      _chunkEvent([this] { transferChunk(); }, "dma chunk"),
+      _stats(this->name())
+{
+    _stats.addStat(&_transfers);
+    _stats.addStat(&_bytes);
+    _stats.addStat(&_rejectedStarts);
+    _stats.addStat(&_fifoStalls);
+}
+
+std::uint64_t
+DeliberateDma::statusRead(Addr src_paddr) const
+{
+    if (!_busy)
+        return dma_status::FREE;
+    return dma_status::encodeBusy(_wordsRemaining, src_paddr == _base);
+}
+
+bool
+DeliberateDma::start(Addr src_paddr, std::uint32_t nwords)
+{
+    if (_busy) {
+        ++_rejectedStarts;
+        return false;
+    }
+    SHRIMP_ASSERT(nwords > 0, "zero-length deliberate transfer");
+    SHRIMP_ASSERT(pageOffset(src_paddr) + nwords * wordBytes <= PAGE_SIZE,
+                  "deliberate transfer crosses a page boundary: addr=",
+                  src_paddr, " words=", nwords);
+
+    _busy = true;
+    _base = src_paddr;
+    _cursor = src_paddr;
+    _wordsRemaining = nwords;
+    ++_transfers;
+
+    reschedule(_chunkEvent, curTick() + _params.startLatency);
+    return true;
+}
+
+void
+DeliberateDma::kick()
+{
+    if (_busy && !_chunkEvent.scheduled())
+        reschedule(_chunkEvent, curTick());
+}
+
+void
+DeliberateDma::transferChunk()
+{
+    SHRIMP_ASSERT(_busy, "chunk event while idle");
+
+    OutLookup lookup = _hooks.lookupOut(_cursor);
+    SHRIMP_ASSERT(lookup.mapped &&
+                      lookup.mode == UpdateMode::DELIBERATE,
+                  "deliberate transfer from a page not mapped "
+                  "deliberate: addr=", _cursor);
+
+    Addr bytes_left = Addr{_wordsRemaining} * wordBytes;
+    Addr chunk = bytes_left;
+    if (chunk > _params.maxChunkBytes)
+        chunk = _params.maxChunkBytes;
+    // A chunk must stay within one mapping half (split pages).
+    if (chunk > lookup.bytesToMappingEnd)
+        chunk = lookup.bytesToMappingEnd;
+    SHRIMP_ASSERT(chunk % wordBytes == 0 && chunk > 0,
+                  "bad chunk size ", chunk);
+
+    Addr wire = NetPacket::headerBytes + chunk + NetPacket::crcBytes;
+    if (!_hooks.outFifoHasSpace(wire)) {
+        ++_fifoStalls;
+        _hooks.waitForFifoSpace();
+        return;     // kick() resumes us
+    }
+
+    // The engine reads source data from main memory over the Xpress
+    // bus; the snooping datapath captures it (modeled by handing the
+    // data straight to the packetizer at the read's completion).
+    XpressBus::Grant grant = _bus.acquire(curTick(), chunk);
+    Tick data_ready = grant.end + _mem.accessLatency();
+
+    std::vector<std::uint8_t> payload(chunk);
+    _mem.read(_cursor, payload.data(), chunk);
+
+    NodeId dst = lookup.dstNode;
+    Addr dst_addr = lookup.dstAddr;
+    _bytes += chunk;
+
+    // Progress state (_cursor, _wordsRemaining, _busy) only advances
+    // when the chunk is actually captured by the outgoing datapath, so
+    // a command-page status read never reports "free" while data is
+    // still in flight. Chunks are strictly sequential: the next
+    // transferChunk() is scheduled from inside this completion.
+    eventQueue().scheduleFn(
+        [this, dst, dst_addr, chunk,
+         payload = std::move(payload)]() mutable {
+            _hooks.emitChunk(dst, dst_addr, std::move(payload));
+            _cursor += chunk;
+            _wordsRemaining -=
+                static_cast<std::uint32_t>(chunk / wordBytes);
+            if (_wordsRemaining == 0) {
+                _busy = false;
+                if (onComplete)
+                    onComplete(_base);
+            } else if (!_chunkEvent.scheduled()) {
+                reschedule(_chunkEvent, curTick());
+            }
+        },
+        data_ready, EventPriority::DEFAULT, "dma chunk emit");
+}
+
+} // namespace shrimp

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * PacketFifo: the network interface's Outgoing / Incoming FIFOs, with
+ * the programmable thresholds the paper's flow control is built on
+ * (Section 4): an incoming FIFO above its stop threshold makes the NIC
+ * refuse packets from the network; an outgoing FIFO above its
+ * threshold interrupts the CPU until it drains.
+ */
+
+#ifndef SHRIMP_NIC_PACKET_FIFO_HH
+#define SHRIMP_NIC_PACKET_FIFO_HH
+
+#include <deque>
+#include <functional>
+
+#include "net/packet.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** A byte-accounted FIFO of packets with hysteresis thresholds. */
+class PacketFifo
+{
+  public:
+    struct Params
+    {
+        Addr capacityBytes = 64 * 1024;
+        /** Crossing above this (from below) fires onAboveThreshold. */
+        Addr highThresholdBytes = 56 * 1024;
+        /** Crossing to-or-below this (from above) fires onDrained. */
+        Addr lowThresholdBytes = 32 * 1024;
+    };
+
+    explicit PacketFifo(std::string name, const Params &params)
+        : _params(params), _stats(std::move(name))
+    {
+        SHRIMP_ASSERT(params.lowThresholdBytes <=
+                          params.highThresholdBytes &&
+                      params.highThresholdBytes <= params.capacityBytes,
+                      "inconsistent FIFO thresholds");
+        _stats.addStat(&_pushes);
+        _stats.addStat(&_maxFill);
+    }
+
+    /** Fired when fill first exceeds the high threshold. */
+    std::function<void()> onAboveThreshold;
+    /** Fired when fill falls back to/below the low threshold. */
+    std::function<void()> onDrained;
+
+    struct Item
+    {
+        NetPacket pkt;
+        Tick ready;     //!< earliest tick the consumer may take it
+    };
+
+    bool empty() const { return _items.empty(); }
+    std::size_t packets() const { return _items.size(); }
+    Addr fillBytes() const { return _fillBytes; }
+    const Params &params() const { return _params; }
+
+    /** Would @p bytes more fit without exceeding capacity? */
+    bool
+    wouldFit(Addr bytes) const
+    {
+        return _fillBytes + bytes <= _params.capacityBytes;
+    }
+
+    /** Is the fill at or below the high threshold (accepting)? */
+    bool
+    belowHighThreshold() const
+    {
+        return _fillBytes <= _params.highThresholdBytes;
+    }
+
+    void
+    push(NetPacket &&pkt, Tick ready)
+    {
+        Addr bytes = pkt.wireBytes();
+        SHRIMP_ASSERT(wouldFit(bytes),
+                      "FIFO overflow: fill=", _fillBytes, " +", bytes,
+                      " > ", _params.capacityBytes);
+        bool was_below = _fillBytes <= _params.highThresholdBytes;
+        _fillBytes += bytes;
+        _items.push_back(Item{std::move(pkt), ready});
+        ++_pushes;
+        if (_fillBytes > _maxFillSeen) {
+            _maxFillSeen = _fillBytes;
+            _maxFill = static_cast<double>(_maxFillSeen);
+        }
+        if (was_below && _fillBytes > _params.highThresholdBytes &&
+            onAboveThreshold) {
+            onAboveThreshold();
+        }
+    }
+
+    const Item &
+    front() const
+    {
+        SHRIMP_ASSERT(!_items.empty(), "front of empty FIFO");
+        return _items.front();
+    }
+
+    /** Item @p i positions behind the head (for coalescing scans). */
+    const Item &
+    at(std::size_t i) const
+    {
+        SHRIMP_ASSERT(i < _items.size(), "FIFO index out of range");
+        return _items[i];
+    }
+
+    NetPacket
+    pop()
+    {
+        SHRIMP_ASSERT(!_items.empty(), "pop of empty FIFO");
+        bool was_above = _fillBytes > _params.lowThresholdBytes;
+        NetPacket pkt = std::move(_items.front().pkt);
+        _items.pop_front();
+        _fillBytes -= pkt.wireBytes();
+        if (was_above && _fillBytes <= _params.lowThresholdBytes &&
+            onDrained) {
+            onDrained();
+        }
+        return pkt;
+    }
+
+    std::uint64_t pushCount() const { return _pushes.value(); }
+    stats::Group &statGroup() { return _stats; }
+
+  private:
+    Params _params;
+    std::deque<Item> _items;
+    Addr _fillBytes = 0;
+    Addr _maxFillSeen = 0;
+
+    stats::Group _stats;
+    stats::Counter _pushes{"pushes", "packets pushed"};
+    stats::Scalar _maxFill{"maxFillBytes", "peak fill level"};
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_NIC_PACKET_FIFO_HH

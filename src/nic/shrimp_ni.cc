@@ -1,0 +1,457 @@
+#include "nic/shrimp_ni.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+const char *
+updateModeName(UpdateMode mode)
+{
+    switch (mode) {
+      case UpdateMode::NONE: return "none";
+      case UpdateMode::AUTO_SINGLE: return "auto-single";
+      case UpdateMode::AUTO_BLOCK: return "auto-block";
+      case UpdateMode::DELIBERATE: return "deliberate";
+    }
+    return "unknown";
+}
+
+ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
+                   const Params &params, XpressBus &bus, EisaBus &eisa,
+                   MainMemory &mem, MeshBackplane &backplane)
+    : SimObject(eq, std::move(name)),
+      _node(node),
+      _params(params),
+      _bus(bus),
+      _eisa(eisa),
+      _mem(mem),
+      _backplane(backplane),
+      _router(backplane.router(node)),
+      _nipt(mem.numPages()),
+      _outFifo(this->name() + ".outFifo", params.outFifo),
+      _inFifo(this->name() + ".inFifo", params.inFifo),
+      _dma(eq, this->name() + ".dma", params.dma, bus, mem,
+           DeliberateDma::Hooks{
+               [this](Addr paddr) { return _nipt.lookupOut(paddr); },
+               [this](Addr wire) { return _outFifo.wouldFit(wire); },
+               [this](NodeId dst, Addr dst_addr,
+                      std::vector<std::uint8_t> &&payload) {
+                   // Flush any pending merge first so all traffic to a
+                   // given destination stays in program order.
+                   flushMergeBuffer();
+                   emitPacket(dst, dst_addr, std::move(payload),
+                              curTick() + _params.packetizeLatency);
+               },
+               [this] { _dmaWaitingForFifo = true; }}),
+      _injectEvent([this] { tryInject(); }, "ni inject"),
+      _drainEvent([this] { drainIncoming(); }, "ni drain"),
+      _mergeTimerEvent([this] { flushMergeBuffer(); }, "merge timeout"),
+      _stats(this->name())
+{
+    SHRIMP_ASSERT(params.cmdBase >= mem.size(),
+                  "command space overlaps DRAM");
+    SHRIMP_ASSERT(params.maxPayloadBytes >= 8 &&
+                  params.maxPayloadBytes <= PAGE_SIZE,
+                  "bad max payload size");
+
+    _stats.addStat(&_pktsSent);
+    _stats.addStat(&_pktsDelivered);
+    _stats.addStat(&_bytesSent);
+    _stats.addStat(&_bytesDelivered);
+    _stats.addStat(&_dropsCrc);
+    _stats.addStat(&_dropsUnmapped);
+    _stats.addStat(&_mergedWrites);
+    _stats.addStat(&_mergeFlushTimeout);
+    _stats.addStat(&_ignoredStarts);
+    _stats.addStat(&_arrivalInterrupts);
+    _stats.addStat(&_deliveryLatency);
+
+    // Wire ourselves into the node and the mesh.
+    bus.addSnooper(this);
+    bus.addTarget(params.cmdBase, mem.size(), this);
+    _router.setSink(this);
+    _router.setInjectWaiter([this] {
+        if (!_injectEvent.scheduled())
+            reschedule(_injectEvent, curTick());
+    });
+
+    // FIFO threshold plumbing.
+    _outFifo.onAboveThreshold = [this] {
+        _outAboveThreshold = true;
+        if (onOutFifoAboveThreshold)
+            onOutFifoAboveThreshold();
+    };
+    _outFifo.onDrained = [this] {
+        if (_outAboveThreshold) {
+            _outAboveThreshold = false;
+            if (onOutFifoDrained)
+                onOutFifoDrained();
+        }
+        if (_dmaWaitingForFifo) {
+            _dmaWaitingForFifo = false;
+            _dma.kick();
+        }
+    };
+    _inFifo.onAboveThreshold = [this] { _accepting = false; };
+    _inFifo.onDrained = [this] {
+        if (!_accepting) {
+            _accepting = true;
+            _router.sinkReadyAgain();
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Outgoing path: snooped automatic updates
+// ---------------------------------------------------------------------
+
+void
+ShrimpNi::snoopWrite(Addr paddr, const void *buf, Addr len,
+                     BusMaster master)
+{
+    // Only processor stores trigger automatic updates. Incoming DMA
+    // also appears on the memory bus, but forwarding it would echo
+    // bidirectional mappings back and forth forever; the hardware's
+    // outgoing datapath captures CPU cycles only.
+    if (master != BusMaster::CPU || !isDram(paddr))
+        return;
+
+    OutLookup lookup = _nipt.lookupOut(paddr);
+    if (!lookup.mapped)
+        return;
+
+    switch (lookup.mode) {
+      case UpdateMode::AUTO_SINGLE:
+        handleAutoSingle(lookup, buf, len);
+        break;
+      case UpdateMode::AUTO_BLOCK:
+        handleAutoBlock(lookup, paddr, buf, len);
+        break;
+      case UpdateMode::DELIBERATE:
+      case UpdateMode::NONE:
+        break;      // data moves only via an explicit send
+    }
+}
+
+void
+ShrimpNi::handleAutoSingle(const OutLookup &lookup, const void *buf,
+                           Addr len)
+{
+    // Keep wire order equal to store order even when single-write and
+    // blocked-write pages interleave toward the same destination.
+    flushMergeBuffer();
+
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
+    std::memcpy(payload.data(), buf, payload.size());
+    emitPacket(lookup.dstNode, lookup.dstAddr, std::move(payload),
+               curTick() + _params.packetizeLatency);
+}
+
+void
+ShrimpNi::handleAutoBlock(const OutLookup &lookup, Addr paddr,
+                          const void *buf, Addr len)
+{
+    Tick now = curTick();
+
+    bool mergeable =
+        _merge.valid && _merge.dstNode == lookup.dstNode &&
+        paddr == _merge.srcNext &&
+        pageOf(paddr) == pageOf(_merge.srcNext - 1) &&
+        _merge.data.size() + len <= _params.maxPayloadBytes &&
+        now - _merge.lastWrite <= _params.mergeTimeout;
+
+    if (!mergeable)
+        flushMergeBuffer();
+
+    if (!_merge.valid) {
+        _merge.valid = true;
+        _merge.dstNode = lookup.dstNode;
+        _merge.dstStart = lookup.dstAddr;
+        _merge.srcNext = paddr;
+        _merge.data.clear();
+        _merge.lastWrite = now;
+    } else {
+        ++_mergedWrites;
+    }
+
+    const auto *bytes = static_cast<const std::uint8_t *>(buf);
+    _merge.data.insert(_merge.data.end(), bytes, bytes + len);
+    _merge.srcNext += len;
+    _merge.lastWrite = now;
+
+    if (_merge.data.size() >= _params.maxPayloadBytes) {
+        flushMergeBuffer();
+    } else {
+        // (Re)arm the merge window timer.
+        reschedule(_mergeTimerEvent, now + _params.mergeTimeout);
+    }
+}
+
+void
+ShrimpNi::flushMergeBuffer()
+{
+    if (_mergeTimerEvent.scheduled())
+        deschedule(_mergeTimerEvent);
+    if (!_merge.valid)
+        return;
+
+    _merge.valid = false;
+    emitPacket(_merge.dstNode, _merge.dstStart, std::move(_merge.data),
+               curTick() + _params.packetizeLatency);
+    _merge.data = {};
+}
+
+void
+ShrimpNi::emitPacket(NodeId dst, Addr dst_addr,
+                     std::vector<std::uint8_t> &&payload, Tick ready)
+{
+    NetPacket pkt;
+    pkt.srcNode = _node;
+    pkt.dstNode = dst;
+    pkt.dstX = static_cast<std::uint16_t>(_backplane.xOf(dst));
+    pkt.dstY = static_cast<std::uint16_t>(_backplane.yOf(dst));
+    pkt.dstPaddr = dst_addr;
+    pkt.payload = std::move(payload);
+    pkt.sealCrc();
+    pkt.injectedAt = curTick();
+    pkt.seq = _nextSeq++;
+
+    if (_corruptNext) {
+        _corruptNext = false;
+        if (!pkt.payload.empty())
+            pkt.payload[0] ^= 0x01;     // CRC now mismatches
+        else
+            pkt.crc ^= 0x0001;
+    }
+
+    SHRIMP_DTRACE("Nic", curTick(), name(),
+                  "packet -> node ", dst, " paddr ", dst_addr,
+                  " bytes ", pkt.payload.size(), " seq ", pkt.seq);
+    _bytesSent += pkt.payload.size();
+    _outFifo.push(std::move(pkt), ready);
+
+    if (!_injectEvent.scheduled())
+        reschedule(_injectEvent, curTick());
+}
+
+void
+ShrimpNi::tryInject()
+{
+    Tick now = curTick();
+
+    if (_outFifo.empty())
+        return;
+
+    const PacketFifo::Item &head = _outFifo.front();
+    Tick ready = head.ready > _nextInjectOk ? head.ready : _nextInjectOk;
+    if (ready > now) {
+        reschedule(_injectEvent, ready);
+        return;
+    }
+
+    if (!_router.injectReady())
+        return;     // inject waiter will kick us
+
+    NetPacket pkt = _outFifo.pop();
+    Tick ser = _router.serializationTime(pkt);
+    _nextInjectOk = now + _params.injectOverhead + ser;
+    ++_pktsSent;
+    _router.inject(std::move(pkt));
+
+    if (!_outFifo.empty())
+        reschedule(_injectEvent, _nextInjectOk);
+}
+
+// ---------------------------------------------------------------------
+// Command space (BusTarget)
+// ---------------------------------------------------------------------
+
+std::uint64_t
+ShrimpNi::busRead(Addr paddr, unsigned size)
+{
+    (void)size;
+    Addr rel = paddr - _params.cmdBase;
+    Addr off = pageOffset(rel);
+    if (off >= ctrlRegionOffset)
+        return 0;
+    // Status of the DMA engine, relative to the corresponding source
+    // physical address.
+    return _dma.statusRead(rel);
+}
+
+void
+ShrimpNi::busWrite(Addr paddr, const void *buf, Addr len)
+{
+    Addr rel = paddr - _params.cmdBase;
+    Addr off = pageOffset(rel);
+    PageNum page = pageOf(rel);
+
+    std::uint64_t value = 0;
+    std::memcpy(&value, buf, len < 8 ? len : 8);
+
+    if (off == ctrlModeOffset) {
+        NiptEntry &e = _nipt.entry(page);
+        UpdateMode mode;
+        switch (static_cast<ModeCommand>(value)) {
+          case ModeCommand::AUTO_SINGLE:
+            mode = UpdateMode::AUTO_SINGLE;
+            break;
+          case ModeCommand::AUTO_BLOCK:
+            mode = UpdateMode::AUTO_BLOCK;
+            break;
+          case ModeCommand::DELIBERATE:
+            mode = UpdateMode::DELIBERATE;
+            break;
+          default:
+            return;     // unknown command; hardware ignores
+        }
+        // Mode-switch commands apply to existing mappings only; the
+        // mapping itself (destination, protection) is kernel business.
+        if (e.outLow.valid())
+            e.outLow.mode = mode;
+        if (e.outHigh.valid())
+            e.outHigh.mode = mode;
+        return;
+    }
+
+    if (off == ctrlIntrOffset) {
+        _nipt.entry(page).interruptOnArrival = value != 0;
+        return;
+    }
+
+    // Deliberate-update start: value is the word count, the offset is
+    // the transfer's base offset within the source page.
+    auto nwords = static_cast<std::uint32_t>(value);
+    if (nwords == 0 ||
+        off + Addr{nwords} * DeliberateDma::wordBytes > PAGE_SIZE) {
+        ++_ignoredStarts;
+        return;
+    }
+    if (!_dma.start(rel, nwords))
+        ++_ignoredStarts;
+}
+
+// ---------------------------------------------------------------------
+// Incoming path
+// ---------------------------------------------------------------------
+
+void
+ShrimpNi::sinkDeliver(NetPacket &&pkt)
+{
+    // Verify the absolute mesh coordinates and the CRC (Section 3.1).
+    if (pkt.dstX != _backplane.xOf(_node) ||
+        pkt.dstY != _backplane.yOf(_node) || !pkt.crcOk()) {
+        SHRIMP_DTRACE("Nic", curTick(), name(),
+                      "DROP bad crc/coords from node ", pkt.srcNode,
+                      " seq ", pkt.seq);
+        ++_dropsCrc;
+        if (onDropped)
+            onDropped(pkt);
+        return;
+    }
+
+    _inFifo.push(std::move(pkt), curTick());
+    if (!_draining && !_drainEvent.scheduled())
+        reschedule(_drainEvent, curTick());
+}
+
+void
+ShrimpNi::drainIncoming()
+{
+    if (_draining || _inFifo.empty())
+        return;
+
+    Tick now = curTick();
+
+    // NIPT check at the head of the FIFO (Section 4): drop packets for
+    // pages that are not mapped in.
+    {
+        const PacketFifo::Item &head = _inFifo.front();
+        if (!_nipt.mappedIn(pageOf(head.pkt.dstPaddr))) {
+            NetPacket dropped = _inFifo.pop();
+            ++_dropsUnmapped;
+            if (onDropped)
+                onDropped(dropped);
+            if (!_inFifo.empty())
+                reschedule(_drainEvent, now);
+            return;
+        }
+    }
+
+    // Coalesce a run of contiguous, mapped-in packets into one DMA
+    // burst so back-to-back page transfers approach the EISA burst
+    // bandwidth (33 MB/s) instead of paying setup per packet.
+    std::size_t count = 0;
+    Addr bytes = 0;
+    Addr next_addr = _inFifo.front().pkt.dstPaddr;
+    while (count < _inFifo.packets()) {
+        const PacketFifo::Item &item = _inFifo.at(count);
+        if (item.ready > now)
+            break;
+        if (item.pkt.dstPaddr != next_addr)
+            break;
+        if (!_nipt.mappedIn(pageOf(item.pkt.dstPaddr)))
+            break;
+        if (bytes + item.pkt.payload.size() > _params.maxDrainBurstBytes
+            && count > 0) {
+            break;
+        }
+        bytes += item.pkt.payload.size();
+        next_addr += item.pkt.payload.size();
+        ++count;
+    }
+    if (count == 0) {
+        reschedule(_drainEvent, _inFifo.front().ready);
+        return;
+    }
+
+    Tick done;
+    if (_params.eisaIncoming) {
+        EisaBus::Grant g = _eisa.acquire(now, bytes);
+        // The EISA bridge's writes also occupy the memory bus.
+        _bus.acquire(g.start, bytes);
+        done = g.end;
+    } else {
+        XpressBus::Grant g = _bus.acquire(now, bytes);
+        done = g.end + _mem.accessLatency();
+    }
+
+    _draining = true;
+    eventQueue().scheduleFn(
+        [this, count]() {
+            _draining = false;
+            for (std::size_t i = 0; i < count; ++i)
+                commitArrival(_inFifo.pop());
+            if (!_inFifo.empty() && !_drainEvent.scheduled())
+                reschedule(_drainEvent, curTick());
+        },
+        done, EventPriority::DEFAULT, "incoming drain complete");
+}
+
+void
+ShrimpNi::commitArrival(NetPacket &&pkt)
+{
+    // Functional write into main memory; snooping caches invalidate.
+    _bus.functionalWrite(pkt.dstPaddr, pkt.payload.data(),
+                         pkt.payload.size(), BusMaster::EISA_DMA);
+    SHRIMP_DTRACE("Nic", curTick(), name(),
+                  "delivered from node ", pkt.srcNode, " paddr ",
+                  pkt.dstPaddr, " bytes ", pkt.payload.size());
+    ++_pktsDelivered;
+    _bytesDelivered += pkt.payload.size();
+    _deliveryLatency.sample(
+        static_cast<double>(curTick() - pkt.injectedAt));
+
+    PageNum page = pageOf(pkt.dstPaddr);
+    if (_nipt.entry(page).interruptOnArrival && onArrival) {
+        ++_arrivalInterrupts;
+        onArrival(page, pkt.dstPaddr);
+    }
+    if (onDelivered)
+        onDelivered(pkt, curTick());
+}
+
+} // namespace shrimp

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * ShrimpNi: the SHRIMP virtual memory-mapped network interface
+ * (Sections 3 and 4 of the paper). It
+ *
+ *  - snoops CPU write-through stores off the Xpress bus, looks them up
+ *    in the NIPT, and packetizes mapped ones (automatic update, in
+ *    single-write or blocked-write/merging flavours);
+ *  - hosts the single deliberate-update DMA engine, claimed from user
+ *    level through VM-mapped command pages with a locked CMPXCHG;
+ *  - decodes the command address space (one command page per physical
+ *    page, at cmdBase + the page's physical offset);
+ *  - injects packets into the mesh through the Outgoing FIFO and
+ *    accepts them through the Incoming FIFO, with the programmable
+ *    thresholds that implement the paper's flow control;
+ *  - drains arrived packets to main memory through the EISA bus on the
+ *    prototype datapath, or directly over the Xpress bus on the
+ *    next-generation datapath, verifying mesh coordinates, CRC, and
+ *    the NIPT mapped-in bit.
+ *
+ * Command page layout (our encoding of Section 4.2/4.3): a write of n
+ * to offset o < PAGE_SIZE-16 starts a deliberate transfer of n words
+ * from the corresponding physical page's offset o; a read from such an
+ * offset returns the DMA engine status (0 = free). The last 16 bytes
+ * are control: a write to ctrlModeOffset switches the page's outgoing
+ * update mode, a write to ctrlIntrOffset sets/clears the
+ * interrupt-on-arrival bit. Deliberate transfers may therefore not
+ * start in a page's last 16 bytes; the user-level send macro splits
+ * such transfers (the paper's macro already splits at page
+ * boundaries).
+ */
+
+#ifndef SHRIMP_NIC_SHRIMP_NI_HH
+#define SHRIMP_NIC_SHRIMP_NI_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/bus_interfaces.hh"
+#include "mem/eisa_bus.hh"
+#include "mem/main_memory.hh"
+#include "mem/xpress_bus.hh"
+#include "net/backplane.hh"
+#include "nic/deliberate_dma.hh"
+#include "nic/nipt.hh"
+#include "nic/packet_fifo.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace shrimp
+{
+
+/** The SHRIMP network interface for one node. */
+class ShrimpNi : public SimObject,
+                 public BusSnooper,
+                 public BusTarget,
+                 public NetworkSink
+{
+  public:
+    /** Control offsets in each command page (see file comment). */
+    static constexpr Addr ctrlRegionOffset = PAGE_SIZE - 16;
+    static constexpr Addr ctrlModeOffset = PAGE_SIZE - 16;
+    static constexpr Addr ctrlIntrOffset = PAGE_SIZE - 8;
+
+    /** Values written to ctrlModeOffset. */
+    enum class ModeCommand : std::uint64_t
+    {
+        AUTO_SINGLE = 0,
+        AUTO_BLOCK = 1,
+        DELIBERATE = 2,
+    };
+
+    struct Params
+    {
+        /** Base physical address of the command space. */
+        Addr cmdBase = 0x4000'0000;
+        /** Snoop capture -> packet in Outgoing FIFO. */
+        Tick packetizeLatency = 100 * ONE_NS;
+        /** Blocked-write merge window ("programmable time limit"). */
+        Tick mergeTimeout = 1 * ONE_US;
+        /** Max payload per packet (merged or DMA chunk). */
+        Addr maxPayloadBytes = 512;
+        /** Per-packet NIC chip injection overhead. */
+        Tick injectOverhead = 50 * ONE_NS;
+        /** Coalescing limit for one incoming drain burst. */
+        Addr maxDrainBurstBytes = 4096;
+        /** Prototype (EISA) or next-generation (Xpress) receive path. */
+        bool eisaIncoming = true;
+
+        PacketFifo::Params outFifo{64 * 1024, 48 * 1024, 16 * 1024};
+        PacketFifo::Params inFifo{64 * 1024, 56 * 1024, 32 * 1024};
+
+        DeliberateDma::Params dma{};
+    };
+
+    ShrimpNi(EventQueue &eq, std::string name, NodeId node,
+             const Params &params, XpressBus &bus, EisaBus &eisa,
+             MainMemory &mem, MeshBackplane &backplane);
+
+    NodeId nodeId() const { return _node; }
+    Nipt &nipt() { return _nipt; }
+    const Nipt &nipt() const { return _nipt; }
+    DeliberateDma &dma() { return _dma; }
+    PacketFifo &outgoingFifo() { return _outFifo; }
+    PacketFifo &incomingFifo() { return _inFifo; }
+    const Params &params() const { return _params; }
+
+    // ---- command space geometry ----
+    Addr cmdBase() const { return _params.cmdBase; }
+    Addr cmdSpaceSize() const { return _mem.size(); }
+
+    /** Command-space address controlling the given DRAM address. */
+    Addr
+    cmdAddrFor(Addr dram_paddr) const
+    {
+        return _params.cmdBase + dram_paddr;
+    }
+
+    /** Command page number controlling DRAM page @p page. */
+    PageNum
+    cmdPageFor(PageNum page) const
+    {
+        return pageOf(_params.cmdBase) + page;
+    }
+
+    // ---- kernel / instrumentation hooks ----
+
+    /** Outgoing FIFO crossed above its high threshold: the kernel
+     *  stalls the CPU until onOutFifoDrained fires (Section 4). */
+    std::function<void()> onOutFifoAboveThreshold;
+    std::function<void()> onOutFifoDrained;
+
+    /** Data arrived for a page whose NIPT entry requests interrupts. */
+    std::function<void(PageNum page, Addr dst_paddr)> onArrival;
+
+    /** A packet was dropped (bad CRC, wrong coords, not mapped in). */
+    std::function<void(const NetPacket &pkt)> onDropped;
+
+    /** A packet's payload reached destination main memory. */
+    std::function<void(const NetPacket &pkt, Tick when)> onDelivered;
+
+    // ---- BusSnooper: the outgoing automatic-update datapath ----
+    void snoopWrite(Addr paddr, const void *buf, Addr len,
+                    BusMaster master) override;
+
+    // ---- BusTarget: the command address space ----
+    std::uint64_t busRead(Addr paddr, unsigned size) override;
+    void busWrite(Addr paddr, const void *buf, Addr len) override;
+    bool effectAtGrant() const override { return true; }
+
+    // ---- NetworkSink: ejection from the mesh ----
+    bool sinkReady() const override { return _accepting; }
+    void sinkDeliver(NetPacket &&pkt) override;
+
+    /** Force out any pending blocked-write merge buffer. */
+    void flushMergeBuffer();
+
+    // ---- statistics accessors used by tests and benches ----
+    std::uint64_t packetsSent() const { return _pktsSent.value(); }
+    std::uint64_t packetsDelivered() const
+    {
+        return _pktsDelivered.value();
+    }
+    std::uint64_t payloadBytesSent() const { return _bytesSent.value(); }
+    std::uint64_t payloadBytesDelivered() const
+    {
+        return _bytesDelivered.value();
+    }
+    std::uint64_t dropsCrc() const { return _dropsCrc.value(); }
+    std::uint64_t dropsUnmapped() const { return _dropsUnmapped.value(); }
+    std::uint64_t mergedWrites() const { return _mergedWrites.value(); }
+    std::uint64_t ignoredStarts() const
+    {
+        return _ignoredStarts.value();
+    }
+    stats::Group &statGroup() { return _stats; }
+
+    /** Inject one bit error into the next outgoing packet (tests). */
+    void corruptNextPacket() { _corruptNext = true; }
+
+  private:
+    struct MergeBuffer
+    {
+        bool valid = false;
+        NodeId dstNode = INVALID_NODE;
+        Addr dstStart = 0;
+        Addr srcNext = 0;       //!< next contiguous source address
+        std::vector<std::uint8_t> data;
+        Tick lastWrite = 0;
+    };
+
+    bool isDram(Addr paddr) const { return paddr < _mem.size(); }
+
+    /** Build, seal and queue a packet. */
+    void emitPacket(NodeId dst, Addr dst_addr,
+                    std::vector<std::uint8_t> &&payload, Tick ready);
+
+    void handleAutoSingle(const OutLookup &lookup, const void *buf,
+                          Addr len);
+    void handleAutoBlock(const OutLookup &lookup, Addr paddr,
+                         const void *buf, Addr len);
+
+    /** Injection engine: Outgoing FIFO head -> mesh router. */
+    void tryInject();
+
+    /** Drain engine: Incoming FIFO -> main memory (EISA or Xpress). */
+    void drainIncoming();
+
+    /** Deliver one drained packet functionally + notify. */
+    void commitArrival(NetPacket &&pkt);
+
+    NodeId _node;
+    Params _params;
+    XpressBus &_bus;
+    EisaBus &_eisa;
+    MainMemory &_mem;
+    MeshBackplane &_backplane;
+    Router &_router;
+
+    Nipt _nipt;
+    PacketFifo _outFifo;
+    PacketFifo _inFifo;
+    DeliberateDma _dma;
+    MergeBuffer _merge;
+
+    bool _accepting = true;     //!< incoming flow-control state
+    bool _draining = false;     //!< a drain burst is in flight
+    bool _outAboveThreshold = false;
+    bool _corruptNext = false;
+    bool _dmaWaitingForFifo = false;
+    Tick _nextInjectOk = 0;
+    std::uint64_t _nextSeq = 0;
+
+    EventFunctionWrapper _injectEvent;
+    EventFunctionWrapper _drainEvent;
+    EventFunctionWrapper _mergeTimerEvent;
+
+    stats::Group _stats;
+    stats::Counter _pktsSent{"pktsSent", "packets injected"};
+    stats::Counter _pktsDelivered{"pktsDelivered",
+                                  "packets delivered to memory"};
+    stats::Counter _bytesSent{"bytesSent", "payload bytes injected"};
+    stats::Counter _bytesDelivered{"bytesDelivered",
+                                   "payload bytes delivered"};
+    stats::Counter _dropsCrc{"dropsCrc",
+                             "packets dropped: bad CRC or coords"};
+    stats::Counter _dropsUnmapped{"dropsUnmapped",
+                                  "packets dropped: page not mapped in"};
+    stats::Counter _mergedWrites{"mergedWrites",
+                                 "writes merged into a pending packet"};
+    stats::Counter _mergeFlushTimeout{"mergeFlushTimeout",
+                                      "merge buffers flushed by timer"};
+    stats::Counter _ignoredStarts{"ignoredStarts",
+                                  "command writes ignored (engine busy)"};
+    stats::Counter _arrivalInterrupts{"arrivalInterrupts",
+                                      "arrival interrupts raised"};
+    stats::Distribution _deliveryLatency{
+        "deliveryLatency", "injection-to-memory latency (ticks)"};
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_NIC_SHRIMP_NI_HH

@@ -1,0 +1,837 @@
+#include "os/kernel.hh"
+
+#include "os/map_manager.hh"
+#include "os/nx_service.hh"
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+const char *
+procStateName(ProcState s)
+{
+    switch (s) {
+      case ProcState::READY: return "ready";
+      case ProcState::RUNNING: return "running";
+      case ProcState::BLOCKED: return "blocked";
+      case ProcState::EXITED: return "exited";
+    }
+    return "unknown";
+}
+
+Kernel::Kernel(EventQueue &eq, std::string name, NodeId node,
+               unsigned num_nodes, Cpu &cpu, MainMemory &mem,
+               XpressBus &bus, ShrimpNi &ni, const Costs &costs)
+    : SimObject(eq, std::move(name)),
+      _node(node),
+      _numNodes(num_nodes),
+      _cpu(cpu),
+      _mem(mem),
+      _bus(bus),
+      _ni(ni),
+      _costs(costs),
+      _frames(1, mem.numPages()),   // frame 0 reserved (null page)
+      _quantumEvent([this] { quantumExpired(); }, "quantum"),
+      _stats(this->name())
+{
+    _stats.addStat(&_switches);
+    _stats.addStat(&_interruptCount);
+    _stats.addStat(&_fifoStalls);
+    _stats.addStat(&_fifoStallTicks);
+    _stats.addStat(&_pageEvictions);
+    _stats.addStat(&_pageIns);
+
+    _cpu.setTrapHandler(this);
+    _ni.onArrival = [this](PageNum page, Addr) {
+        _cpu.postInterrupt(
+            [this, page](Tick now) { return arrivalHandler(page, now); });
+    };
+    _ni.onOutFifoAboveThreshold = [this] { outFifoFull(); };
+    _ni.onOutFifoDrained = [this] { outFifoDrained(); };
+
+    _mapManager = std::make_unique<MapManager>(*this);
+    _nxService = std::make_unique<NxService>(*this);
+}
+
+Kernel::~Kernel()
+{
+    // Release mapping pins before process address spaces return their
+    // frames to the allocator.
+    _mapManager->releaseAllPins();
+}
+
+// ---------------------------------------------------------------------
+// Processes and scheduling
+// ---------------------------------------------------------------------
+
+Process *
+Kernel::createProcess(const std::string &name)
+{
+    auto proc = std::make_unique<Process>(_nextPid++, name, _frames);
+    proc->state = ProcState::BLOCKED;   // until a program is loaded
+    Process *raw = proc.get();
+    _processes.push_back(std::move(proc));
+    return raw;
+}
+
+Process *
+Kernel::findProcess(Pid pid)
+{
+    for (auto &proc : _processes) {
+        if (proc->pid() == pid)
+            return proc.get();
+    }
+    return nullptr;
+}
+
+void
+Kernel::loadAndReady(Process &proc,
+                     std::shared_ptr<const Program> program,
+                     std::size_t stack_pages)
+{
+    SHRIMP_ASSERT(program->finalized(), "program not finalized");
+    Addr stack_base = proc.allocate(stack_pages);
+    proc.load(std::move(program),
+              stack_base + stack_pages * PAGE_SIZE);
+    proc.state = ProcState::READY;
+    _readyQueue.push_back(&proc);
+}
+
+void
+Kernel::start()
+{
+    if (_running)
+        return;
+    auto t = scheduleNext(curTick());
+    if (t)
+        _cpu.resumeAt(*t);
+}
+
+bool
+Kernel::allProcessesExited() const
+{
+    for (const auto &proc : _processes) {
+        if (proc->state != ProcState::EXITED)
+            return false;
+    }
+    return true;
+}
+
+std::optional<Tick>
+Kernel::scheduleNext(Tick now)
+{
+    for (auto it = _readyQueue.begin(); it != _readyQueue.end();) {
+        Process *next = *it;
+        if (next->state != ProcState::READY) {
+            it = _readyQueue.erase(it);
+            continue;
+        }
+        if (_schedPolicy == SchedPolicy::GANG &&
+            next->gangId != _currentGang) {
+            ++it;   // stays queued until its gang's epoch
+            continue;
+        }
+        _readyQueue.erase(it);
+        next->state = ProcState::RUNNING;
+        _running = next;
+        _cpu.setContext(&next->ctx);
+        ++_switches;
+        armQuantum(*next);
+        return now + charge(&next->ctx, _costs.contextSwitch);
+    }
+    _running = nullptr;
+    _cpu.setContext(nullptr);
+    return std::nullopt;
+}
+
+void
+Kernel::setCurrentGang(std::uint32_t gang)
+{
+    if (_currentGang == gang)
+        return;
+    _currentGang = gang;
+
+    if (_running && _running->gangId != gang) {
+        // Preempt at the next instruction boundary.
+        _cpu.postInterrupt([this](Tick now) {
+            if (!_running || _running->gangId == _currentGang)
+                return now;
+            Process *prev = _running;
+            prev->state = ProcState::READY;
+            _readyQueue.push_back(prev);
+            _running = nullptr;
+            auto t = scheduleNext(now);
+            return t ? *t : now;
+        });
+    } else if (!_running && !_stalledOnOutFifo) {
+        auto t = scheduleNext(curTick());
+        if (t)
+            _cpu.resumeAt(*t);
+    }
+}
+
+void
+Kernel::blockCurrent(ExecContext &ctx)
+{
+    Process &proc = processOf(ctx);
+    SHRIMP_ASSERT(_running == &proc, "blockCurrent on a non-running "
+                  "process '", proc.name(), "'");
+    proc.state = ProcState::BLOCKED;
+    _running = nullptr;
+}
+
+void
+Kernel::makeReady(Process &proc)
+{
+    if (proc.state == ProcState::EXITED)
+        return;
+    if (proc.state == ProcState::READY ||
+        proc.state == ProcState::RUNNING) {
+        return;
+    }
+    proc.state = ProcState::READY;
+    _readyQueue.push_back(&proc);
+    if (!_running && !_stalledOnOutFifo) {
+        auto t = scheduleNext(curTick());
+        if (t)
+            _cpu.resumeAt(*t);
+    }
+}
+
+Process &
+Kernel::processOf(ExecContext &ctx)
+{
+    Process *proc = findProcess(ctx.pid);
+    SHRIMP_ASSERT(proc, "no process for pid ", ctx.pid);
+    return *proc;
+}
+
+Tick
+Kernel::charge(ExecContext *ctx, std::uint64_t instructions)
+{
+    return _cpu.chargeKernel(ctx, instructions);
+}
+
+void
+Kernel::reapProcess(Process &proc)
+{
+    // Exited processes keep their memory and mappings (a receiver may
+    // halt while data is still in flight to it); reaping is the
+    // explicit teardown. Outgoing mappings die immediately; frames
+    // that remote senders still target get the Section 4.4 shootdown
+    // so those senders fault, and their remap attempts are refused
+    // because the process is reaped.
+    proc.state = ProcState::EXITED;
+    proc.ctx.halted = true;
+    proc.reaped = true;
+
+    std::vector<PageNum> victims =
+        _mapManager->cleanupProcess(proc.pid());
+    for (PageNum frame : victims) {
+        _mapManager->shootdown(frame, [this, frame] {
+            _mapManager->releaseInMappings(frame);
+        });
+    }
+}
+
+void
+Kernel::armQuantum(Process &proc)
+{
+    _quantumTarget = &proc;
+    reschedule(_quantumEvent, curTick() + _costs.quantum);
+}
+
+void
+Kernel::quantumExpired()
+{
+    if (!_running || _running != _quantumTarget)
+        return;
+    if (_readyQueue.empty()) {
+        armQuantum(*_running);      // nothing to switch to
+        return;
+    }
+    _cpu.postInterrupt([this](Tick now) {
+        if (!_running || _readyQueue.empty())
+            return now;
+        Process *prev = _running;
+        prev->state = ProcState::READY;
+        _readyQueue.push_back(prev);
+        _running = nullptr;
+        auto t = scheduleNext(now);
+        return t ? *t : now;
+    });
+}
+
+// ---------------------------------------------------------------------
+// Interrupts and flow control
+// ---------------------------------------------------------------------
+
+Tick
+Kernel::arrivalHandler(PageNum page, Tick now)
+{
+    ++_interruptCount;
+    std::uint64_t work = _costs.arrivalInterrupt;
+
+    auto chan = _channelPeerOfFrame.find(page);
+    if (chan != _channelPeerOfFrame.end()) {
+        work += _mapManager->handleChannelArrival(chan->second);
+    } else if (_nxService->ownsFrame(page)) {
+        work += _nxService->handleArrival(INVALID_NODE, page);
+    } else {
+        // User page: count the arrival and wake WAIT_ARRIVAL waiters.
+        std::uint64_t count = ++_arrivalCount[page];
+        auto it = _arrivalWaiters.find(page);
+        if (it != _arrivalWaiters.end()) {
+            for (Process *proc : it->second) {
+                proc->ctx.regs[R0] = count;
+                proc->waitFrame = INVALID_PAGE;
+                makeReady(*proc);
+            }
+            it->second.clear();
+        }
+    }
+    return now + charge(nullptr, work);
+}
+
+std::uint64_t
+Kernel::arrivalCount(PageNum frame) const
+{
+    auto it = _arrivalCount.find(frame);
+    return it == _arrivalCount.end() ? 0 : it->second;
+}
+
+void
+Kernel::outFifoFull()
+{
+    // Section 4: "If the Outgoing FIFO becomes full ... the CPU is
+    // interrupted and waits until the FIFO drains."
+    if (_stalledOnOutFifo)
+        return;
+    _stalledOnOutFifo = true;
+    _stallStart = curTick();
+    ++_fifoStalls;
+    _cpu.suspend();
+}
+
+void
+Kernel::outFifoDrained()
+{
+    if (!_stalledOnOutFifo)
+        return;
+    _stalledOnOutFifo = false;
+    _fifoStallTicks += curTick() - _stallStart;
+    if (_cpu.context() && !_cpu.context()->halted) {
+        _cpu.resumeAt(curTick());
+    } else if (!_running) {
+        auto t = scheduleNext(curTick());
+        if (t)
+            _cpu.resumeAt(*t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel channel plumbing
+// ---------------------------------------------------------------------
+
+void
+Kernel::allocateChannels()
+{
+    _channelIn.assign(_numNodes, INVALID_PAGE);
+    _channelOut.assign(_numNodes, INVALID_PAGE);
+    for (NodeId peer = 0; peer < _numNodes; ++peer) {
+        if (peer == _node)
+            continue;
+        auto in_frame = _frames.alloc();
+        auto out_frame = _frames.alloc();
+        SHRIMP_ASSERT(in_frame && out_frame,
+                      "out of frames for kernel channels");
+        _frames.pin(*in_frame);
+        _frames.pin(*out_frame);
+        _channelIn[peer] = *in_frame;
+        _channelOut[peer] = *out_frame;
+        _channelPeerOfFrame[*in_frame] = peer;
+
+        NiptEntry &e = _ni.nipt().entry(*in_frame);
+        e.mappedIn = true;
+        e.interruptOnArrival = true;
+        e.inSources.push_back(peer);
+    }
+    _nxService->allocatePages();
+}
+
+PageNum
+Kernel::channelInFrame(NodeId peer) const
+{
+    SHRIMP_ASSERT(peer < _channelIn.size(), "bad peer");
+    return _channelIn[peer];
+}
+
+void
+Kernel::wireChannelOut(NodeId peer, PageNum remote_frame)
+{
+    PageNum frame = _channelOut.at(peer);
+    OutMapping m;
+    m.mode = UpdateMode::AUTO_SINGLE;
+    m.dstNode = peer;
+    m.dstPage = remote_frame;
+    _ni.nipt().entry(frame).outLow = m;
+}
+
+void
+Kernel::writeChannelWord(NodeId peer, Addr offset, std::uint32_t value)
+{
+    PageNum frame = _channelOut.at(peer);
+    SHRIMP_ASSERT(frame != INVALID_PAGE, "channel to ", peer,
+                  " not wired");
+    charge(nullptr, _costs.channelWordWrite);
+    Addr paddr = pageBase(frame) + offset;
+    _bus.postWrite(paddr, &value, 4, BusMaster::CPU, curTick());
+}
+
+std::uint32_t
+Kernel::readChannelWord(NodeId peer, Addr offset) const
+{
+    PageNum frame = _channelIn.at(peer);
+    return static_cast<std::uint32_t>(
+        _mem.readInt(pageBase(frame) + offset, 4));
+}
+
+// ---------------------------------------------------------------------
+// Direct (host-level) mapping
+// ---------------------------------------------------------------------
+
+std::uint64_t
+Kernel::mapDirect(Process &src_proc, Addr src_vaddr, std::size_t npages,
+                  Kernel &dst_kernel, Process &dst_proc, Addr dst_vaddr,
+                  UpdateMode mode, bool arrival_interrupt)
+{
+    return mapDirectRange(src_proc, src_vaddr, npages * PAGE_SIZE,
+                          dst_kernel, dst_proc, dst_vaddr, mode,
+                          arrival_interrupt);
+}
+
+std::uint64_t
+Kernel::mapDirectRange(Process &src_proc, Addr src_vaddr, Addr nbytes,
+                       Kernel &dst_kernel, Process &dst_proc,
+                       Addr dst_vaddr, UpdateMode mode,
+                       bool arrival_interrupt)
+{
+    SHRIMP_ASSERT(nbytes > 0, "empty mapping");
+
+    // Walk the source range page by page; each source page
+    // contributes one mapping half per destination page it touches
+    // (at most two, the paper's split-page limit).
+    Addr src_end = src_vaddr + nbytes;
+    Addr cursor = src_vaddr;
+    while (cursor < src_end) {
+        PageNum src_vpage = pageOf(cursor);
+        Addr page_limit = pageBase(src_vpage) + PAGE_SIZE;
+
+        Pte *src_pte = src_proc.space().pageTable().find(src_vpage);
+        if (!src_pte || !src_pte->writable)
+            return err::PERM;
+
+        // The half extends to the source page end, the range end, or
+        // the next destination page boundary, whichever is first.
+        Addr dv = dst_vaddr + (cursor - src_vaddr);
+        Addr dst_page_limit = pageBase(pageOf(dv)) + PAGE_SIZE;
+        Addr half_end = page_limit;
+        if (src_end < half_end)
+            half_end = src_end;
+        if (cursor + (dst_page_limit - dv) < half_end)
+            half_end = cursor + (dst_page_limit - dv);
+
+        PageNum dst_vpage = pageOf(dv);
+        Pte *dst_pte = dst_proc.space().pageTable().find(dst_vpage);
+        if (!dst_pte || !dst_pte->writable)
+            return err::PERM;
+
+        // The hardware supports at most two mapping halves per page
+        // (Section 3.2); refuse anything that does not fit the page's
+        // remaining slot.
+        if (!_mapManager->canInstallHalf(src_pte->frame,
+                                         pageOffset(cursor),
+                                         half_end -
+                                             pageBase(src_vpage))) {
+            return err::AGAIN;
+        }
+
+        // Receiver side.
+        MapManager::InRecord in_rec;
+        in_rec.pid = dst_proc.pid();
+        in_rec.vpage = dst_vpage;
+        in_rec.srcNode = _node;
+        in_rec.flags =
+            arrival_interrupt ? map_flags::ARRIVAL_INTERRUPT : 0;
+        in_rec.pinned = dst_kernel.consistencyPolicy() ==
+                        ConsistencyPolicy::PIN;
+        dst_kernel.mapManager().recordInDirect(in_rec, dst_pte->frame,
+                                               arrival_interrupt);
+
+        // Source side.
+        MapManager::OutRecord out_rec;
+        out_rec.pid = src_proc.pid();
+        out_rec.vpage = src_vpage;
+        out_rec.halfBegin = pageOffset(cursor);
+        out_rec.halfEnd = half_end - pageBase(src_vpage);
+        out_rec.dstDelta = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(pageOffset(dv)) -
+            static_cast<std::int64_t>(pageOffset(cursor)));
+        out_rec.dstNode = dst_kernel.nodeId();
+        out_rec.dstPid = dst_proc.pid();
+        out_rec.dstVpage = dst_vpage;
+        out_rec.dstFrame = dst_pte->frame;
+        out_rec.mode = mode;
+        out_rec.flags = in_rec.flags;
+        // Treat "covers the whole remainder of the page" as the
+        // canonical full/low half so unsplit pages stay unsplit.
+        if (out_rec.halfBegin == 0 && out_rec.halfEnd == PAGE_SIZE) {
+            // whole page
+        }
+        _mapManager->recordOutDirect(out_rec, src_pte->frame);
+
+        // Mapped-out pages must be write-through so the NI snoops
+        // every store (Section 2).
+        src_pte->policy = CachePolicy::WRITE_THROUGH;
+
+        cursor = half_end;
+    }
+    return err::OK;
+}
+
+Addr
+Kernel::mapCommandPages(Process &proc, Addr vaddr, std::size_t npages)
+{
+    std::vector<PageNum> cmd_frames;
+    cmd_frames.reserve(npages);
+    for (std::size_t i = 0; i < npages; ++i) {
+        Pte *pte =
+            proc.space().pageTable().find(pageOf(vaddr) + i);
+        SHRIMP_ASSERT(pte, "command window over unmapped page");
+        cmd_frames.push_back(_ni.cmdPageFor(pte->frame));
+    }
+    return proc.space().mapPhysicalScatter(
+        cmd_frames, CachePolicy::UNCACHEABLE, true);
+}
+
+// ---------------------------------------------------------------------
+// Paging
+// ---------------------------------------------------------------------
+
+void
+Kernel::evictUserPage(Process &proc, Addr vaddr,
+                      std::function<void(bool)> done)
+{
+    PageNum vpage = pageOf(vaddr);
+    Pte *pte = proc.space().pageTable().find(vpage);
+    if (!pte) {
+        done(false);
+        return;
+    }
+    PageNum frame = pte->frame;
+
+    bool has_in = _mapManager->hasInMappings(frame);
+    if (_consistency == ConsistencyPolicy::PIN &&
+        (has_in || _frames.isPinned(frame))) {
+        // The simple policy: mapped-in pages are pinned, never paged.
+        done(false);
+        return;
+    }
+    if (_frames.isPinned(frame)) {
+        done(false);    // kernel page or otherwise wired
+        return;
+    }
+
+    Pid pid = proc.pid();
+    auto proceed = [this, &proc, pid, vpage, frame,
+                    done = std::move(done)]() {
+        charge(nullptr, _costs.pageSwap);
+
+        Pte *pte2 = proc.space().pageTable().find(vpage);
+        SHRIMP_ASSERT(pte2 && pte2->frame == frame,
+                      "page moved during shootdown");
+
+        SwapEntry entry;
+        entry.data.resize(PAGE_SIZE);
+        _mem.read(pageBase(frame), entry.data.data(), PAGE_SIZE);
+        entry.pte = *pte2;
+        _swap[{pid, vpage}] = std::move(entry);
+
+        _mapManager->frameDropped(frame);
+        proc.space().pageTable().unmap(vpage);
+        proc.space().forgetFrame(frame);
+        _frames.free(frame);
+        ++_pageEvictions;
+        done(true);
+    };
+
+    if (has_in) {
+        // INVALIDATE policy: shoot down remote NIPT entries first.
+        _mapManager->shootdown(frame, std::move(proceed));
+    } else {
+        proceed();
+    }
+}
+
+std::uint64_t
+Kernel::pageIn(Process &proc, PageNum vpage)
+{
+    auto it = _swap.find({proc.pid(), vpage});
+    if (it == _swap.end())
+        return err::INVAL;
+
+    auto frame = _frames.alloc();
+    if (!frame)
+        return err::NOMEM;
+
+    SwapEntry &entry = it->second;
+    _mem.write(pageBase(*frame), entry.data.data(), PAGE_SIZE);
+    Pte pte = entry.pte;
+    pte.frame = *frame;
+    proc.space().pageTable().map(vpage, pte);
+    proc.space().adoptFrame(*frame);
+    _swap.erase(it);
+
+    // Reinstall outgoing NIPT state at the new frame.
+    _mapManager->frameMoved(proc.pid(), vpage, *frame);
+    ++_pageIns;
+    return err::OK;
+}
+
+bool
+Kernel::inSwap(Pid pid, PageNum vpage) const
+{
+    return _swap.count({pid, vpage}) != 0;
+}
+
+// ---------------------------------------------------------------------
+// TrapHandler
+// ---------------------------------------------------------------------
+
+bool
+Kernel::readUserWords(ExecContext &ctx, Addr vaddr, std::uint32_t *out,
+                      unsigned nwords) const
+{
+    for (unsigned i = 0; i < nwords; ++i) {
+        Translation t = ctx.space->translate(vaddr + 4 * i, false);
+        if (!t.ok())
+            return false;
+        out[i] = static_cast<std::uint32_t>(_mem.readInt(t.paddr, 4));
+    }
+    return true;
+}
+
+std::optional<Tick>
+Kernel::syscall(ExecContext &ctx, std::uint64_t num, Tick now)
+{
+    Tick t = now + charge(&ctx, _costs.syscallDispatch);
+
+    switch (num) {
+      case sys::EXIT: {
+        Process &proc = processOf(ctx);
+        proc.state = ProcState::EXITED;
+        ctx.halted = true;
+        _running = nullptr;
+        return scheduleNext(t);
+      }
+
+      case sys::YIELD: {
+        Process &proc = processOf(ctx);
+        if (_readyQueue.empty())
+            return t;
+        proc.state = ProcState::READY;
+        _readyQueue.push_back(&proc);
+        _running = nullptr;
+        return scheduleNext(t);
+      }
+
+      case sys::GETPID:
+        ctx.regs[R0] = ctx.pid;
+        return t;
+
+      case sys::NODE_ID:
+        ctx.regs[R0] = _node;
+        return t;
+
+      case sys::MAP:
+        return doMapSyscall(ctx, t);
+      case sys::UNMAP:
+        return doUnmapSyscall(ctx, t);
+      case sys::WAIT_ARRIVAL:
+        return doWaitArrival(ctx, t);
+
+      case sys::NX_CSEND:
+      case sys::NX_CRECV: {
+        std::uint32_t words[5];
+        if (!readUserWords(ctx, ctx.regs[R1], words, 5)) {
+            ctx.regs[R0] = err::INVAL;
+            return t;
+        }
+        NxArgs args;
+        args.type = words[0];
+        args.buf = words[1];
+        args.nbytes = words[2];
+        args.node = words[3];
+        args.pid = words[4];
+        return num == sys::NX_CSEND ? _nxService->csend(ctx, args, t)
+                                    : _nxService->crecv(ctx, args, t);
+      }
+
+      default:
+        SHRIMP_WARN("unknown syscall ", num, " from '", ctx.name, "'");
+        ctx.regs[R0] = err::INVAL;
+        return t;
+    }
+}
+
+std::optional<Tick>
+Kernel::doMapSyscall(ExecContext &ctx, Tick now)
+{
+    std::uint32_t words[7];
+    if (!readUserWords(ctx, ctx.regs[R1], words, 7)) {
+        ctx.regs[R0] = err::INVAL;
+        return now;
+    }
+    MapArgs args;
+    args.localVaddr = words[0];
+    args.npages = words[1];
+    args.dstNode = words[2];
+    args.dstPid = words[3];
+    args.dstVaddr = words[4];
+    args.mode = words[5];
+    args.flags = words[6];
+
+    if (args.npages == 0) {
+        ctx.regs[R0] = err::INVAL;
+        return now;
+    }
+
+    Tick t = now + charge(&ctx, _costs.mapValidatePerPage * args.npages);
+
+    Process &proc = processOf(ctx);
+    blockCurrent(ctx);
+    auto next = scheduleNext(t);
+
+    _mapManager->startMap(proc, args, [this, &proc](std::uint64_t st) {
+        proc.ctx.regs[R0] = st;
+        makeReady(proc);
+    });
+    return next;
+}
+
+std::optional<Tick>
+Kernel::doUnmapSyscall(ExecContext &ctx, Tick now)
+{
+    std::uint32_t words[7];
+    if (!readUserWords(ctx, ctx.regs[R1], words, 7)) {
+        ctx.regs[R0] = err::INVAL;
+        return now;
+    }
+    MapArgs args;
+    args.localVaddr = words[0];
+    args.npages = words[1];
+    args.dstNode = words[2];
+    args.dstPid = words[3];
+    args.dstVaddr = words[4];
+
+    Tick t = now + charge(&ctx, _costs.mapValidatePerPage * args.npages);
+
+    Process &proc = processOf(ctx);
+    blockCurrent(ctx);
+    auto next = scheduleNext(t);
+
+    _mapManager->startUnmap(proc, args,
+                            [this, &proc](std::uint64_t st) {
+                                proc.ctx.regs[R0] = st;
+                                makeReady(proc);
+                            });
+    return next;
+}
+
+std::optional<Tick>
+Kernel::doWaitArrival(ExecContext &ctx, Tick now)
+{
+    Translation t = ctx.space->translate(ctx.regs[R1], false);
+    if (!t.ok()) {
+        ctx.regs[R0] = 0;
+        return now;
+    }
+    PageNum frame = pageOf(t.paddr);
+    std::uint64_t last_seen = ctx.regs[R2];
+    std::uint64_t count = arrivalCount(frame);
+    if (count != last_seen) {
+        ctx.regs[R0] = count;
+        return now;
+    }
+    Process &proc = processOf(ctx);
+    proc.waitFrame = frame;
+    blockCurrent(ctx);
+    _arrivalWaiters[frame].push_back(&proc);
+    return scheduleNext(now);
+}
+
+std::optional<Tick>
+Kernel::fault(ExecContext &ctx, FaultKind kind, Addr vaddr, bool write,
+              Tick now)
+{
+    Process &proc = processOf(ctx);
+    PageNum vpage = pageOf(vaddr);
+    Tick t = now + charge(&ctx, _costs.faultHandler);
+
+    if (kind == FaultKind::NOT_PRESENT) {
+        if (inSwap(proc.pid(), vpage)) {
+            Tick t2 = t + charge(&ctx, _costs.pageSwap);
+            std::uint64_t e = pageIn(proc, vpage);
+            if (e == err::OK)
+                return t2;      // retry the instruction
+        }
+        SHRIMP_WARN("killing '", proc.name(), "': access to unmapped ",
+                    vaddr);
+        proc.state = ProcState::EXITED;
+        ctx.halted = true;
+        _running = nullptr;
+        return scheduleNext(t);
+    }
+
+    if (kind == FaultKind::PROTECTION && write &&
+        _mapManager->needsRemap(proc.pid(), vpage)) {
+        // An invalidated mapping (Section 4.4): re-establish it, then
+        // retry the store.
+        blockCurrent(ctx);
+        auto next = scheduleNext(t);
+        _mapManager->startRemap(
+            proc, vpage, [this, &proc](std::uint64_t status) {
+                if (status == err::OK) {
+                    makeReady(proc);
+                    return;
+                }
+                // The destination is gone (e.g. its process was
+                // reaped): the mapping cannot be re-established.
+                SHRIMP_WARN("killing '", proc.name(),
+                            "': remap failed with ", status);
+                proc.state = ProcState::EXITED;
+                proc.ctx.halted = true;
+            });
+        return next;
+    }
+
+    SHRIMP_WARN("killing '", proc.name(), "': protection fault at ",
+                vaddr);
+    proc.state = ProcState::EXITED;
+    ctx.halted = true;
+    _running = nullptr;
+    return scheduleNext(t);
+}
+
+void
+Kernel::halted(ExecContext &ctx, Tick now)
+{
+    Process &proc = processOf(ctx);
+    proc.state = ProcState::EXITED;
+    _running = nullptr;
+    auto t = scheduleNext(now + charge(nullptr, _costs.contextSwitch));
+    if (t)
+        _cpu.resumeAt(*t);
+}
+
+} // namespace shrimp

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Kernel: the per-node operating system.
+ *
+ * Responsibilities, mirroring the paper's system design:
+ *  - processes and general multiprogramming (round-robin scheduler
+ *    with preemption; the paper's design explicitly supports arbitrary
+ *    scheduling policies because protection lives in the mapping);
+ *  - the map()/unmap() syscalls: protection checking and NIPT setup,
+ *    performed via kernel-to-kernel RPC over an in-band channel (a
+ *    pair of boot-time automatic-update mappings per node pair with
+ *    interrupt-on-arrival set);
+ *  - NIPT consistency (Section 4.4): PIN policy (mapped-in frames are
+ *    pinned) or INVALIDATE policy (TLB-shootdown-style invalidation of
+ *    remote NIPT entries before paging, with page faults re-
+ *    establishing invalidated mappings on demand);
+ *  - interrupt handling: packet-arrival interrupts (kernel channel and
+ *    user WAIT_ARRIVAL) and the outgoing-FIFO threshold interrupt that
+ *    stalls the CPU until the FIFO drains;
+ *  - the NX/2 kernel-level baseline (csend/crecv through kernel
+ *    buffers with syscalls, copies and per-message interrupts), used
+ *    for the paper's overhead comparison.
+ *
+ * All kernel work is charged to the CPU in instructions, so software
+ * overheads of kernel-mediated paths are measured in the same units as
+ * the user-level primitives of Table 1.
+ */
+
+#ifndef SHRIMP_OS_KERNEL_HH
+#define SHRIMP_OS_KERNEL_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cpu/cpu.hh"
+#include "nic/shrimp_ni.hh"
+#include "os/process.hh"
+#include "os/syscalls.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "vm/frame_allocator.hh"
+
+namespace shrimp
+{
+
+class MapManager;
+class NxService;
+
+/** How the kernel keeps remote NIPTs consistent with local paging. */
+enum class ConsistencyPolicy : std::uint8_t
+{
+    PIN,            //!< pin mapped-in frames; eviction refused
+    INVALIDATE,     //!< shoot down remote NIPT entries, then evict
+};
+
+/**
+ * Scheduling policy. The SHRIMP hardware supports arbitrary
+ * multiprogramming, so the choice is purely a performance experiment
+ * (unlike the CM-5, whose protection requires gang scheduling).
+ */
+enum class SchedPolicy : std::uint8_t
+{
+    ROUND_ROBIN,    //!< preemptive round robin over all processes
+    GANG,           //!< only the current gang's processes run
+};
+
+/** The per-node kernel. */
+class Kernel : public SimObject, public TrapHandler
+{
+  public:
+    struct Costs
+    {
+        std::uint64_t contextSwitch = 80;
+        std::uint64_t syscallDispatch = 20;
+        std::uint64_t mapValidatePerPage = 90;  //!< source-side checks
+        std::uint64_t mapInstallPerPage = 40;   //!< NIPT/PT writes
+        std::uint64_t mapRemotePerPage = 110;   //!< receiver-side work
+        std::uint64_t channelWordWrite = 3;
+        std::uint64_t arrivalInterrupt = 30;
+        std::uint64_t rpcDispatch = 40;
+        std::uint64_t faultHandler = 80;
+        std::uint64_t pageSwap = 400;           //!< evict or page-in
+        std::uint64_t nxCsendFastPath = 222;    //!< iPSC/2 NX/2 numbers
+        std::uint64_t nxCrecvFastPath = 261;
+        std::uint64_t nxInterrupt = 90;
+        std::uint64_t nxCopyPerWord = 1;
+        Tick quantum = 1 * ONE_MS;
+    };
+
+    Kernel(EventQueue &eq, std::string name, NodeId node,
+           unsigned num_nodes, Cpu &cpu, MainMemory &mem, XpressBus &bus,
+           ShrimpNi &ni, const Costs &costs);
+    ~Kernel() override;
+
+    NodeId nodeId() const { return _node; }
+    unsigned numNodes() const { return _numNodes; }
+    const Costs &costs() const { return _costs; }
+    Cpu &cpu() { return _cpu; }
+    MainMemory &mem() { return _mem; }
+    XpressBus &bus() { return _bus; }
+    ShrimpNi &ni() { return _ni; }
+    FrameAllocator &frames() { return _frames; }
+    MapManager &mapManager() { return *_mapManager; }
+    NxService &nxService() { return *_nxService; }
+
+    void
+    setConsistencyPolicy(ConsistencyPolicy policy)
+    {
+        _consistency = policy;
+    }
+    ConsistencyPolicy consistencyPolicy() const { return _consistency; }
+
+    void setSchedPolicy(SchedPolicy policy) { _schedPolicy = policy; }
+    SchedPolicy schedPolicy() const { return _schedPolicy; }
+
+    /**
+     * Gang scheduling: make @p gang the runnable gang. Preempts a
+     * running process of another gang and dispatches a member of the
+     * new one (a GangCoordinator calls this on every node at the same
+     * tick).
+     */
+    void setCurrentGang(std::uint32_t gang);
+    std::uint32_t currentGang() const { return _currentGang; }
+
+    // ---- processes ----
+
+    /** Create a process (READY once a program is loaded). */
+    Process *createProcess(const std::string &name);
+
+    Process *findProcess(Pid pid);
+
+    /**
+     * Load @p program into @p proc with a fresh stack and enqueue it
+     * for scheduling.
+     */
+    void loadAndReady(Process &proc,
+                      std::shared_ptr<const Program> program,
+                      std::size_t stack_pages = 4);
+
+    /** Begin scheduling (call once after processes are ready). */
+    void start();
+
+    bool allProcessesExited() const;
+
+    // ---- boot-time wiring (called by ShrimpSystem) ----
+
+    /** Allocate per-peer kernel channel pages. */
+    void allocateChannels();
+
+    /** Local frame that receives peer @p peer's kernel channel. */
+    PageNum channelInFrame(NodeId peer) const;
+
+    /** Wire our outgoing channel to @p peer's mapped-in frame. */
+    void wireChannelOut(NodeId peer, PageNum remote_frame);
+
+    // ---- host-level (zero-cost) mapping, for tests and hardware
+    //      benches that must not include protocol costs ----
+
+    /**
+     * Establish outgoing mappings directly in both NIPTs, page
+     * granular, without the kernel protocol and without simulated
+     * cost. Both kernels' bookkeeping is still updated so unmap and
+     * consistency work.
+     *
+     * @return err::OK or an errno.
+     */
+    std::uint64_t mapDirect(Process &src_proc, Addr src_vaddr,
+                            std::size_t npages, Kernel &dst_kernel,
+                            Process &dst_proc, Addr dst_vaddr,
+                            UpdateMode mode,
+                            bool arrival_interrupt = false);
+
+    /**
+     * Byte-granular variant supporting non-page-aligned mappings via
+     * the NIPT page-split mechanism (Section 3.2). @p nbytes of
+     * source starting at src_vaddr map to dst_vaddr; offsets within a
+     * page may differ between source and destination.
+     */
+    std::uint64_t mapDirectRange(Process &src_proc, Addr src_vaddr,
+                                 Addr nbytes, Kernel &dst_kernel,
+                                 Process &dst_proc, Addr dst_vaddr,
+                                 UpdateMode mode,
+                                 bool arrival_interrupt = false);
+
+    /**
+     * Map the command pages controlling @p proc's pages at
+     * [vaddr, vaddr + npages*PAGE_SIZE) into the process's address
+     * space (Section 4.2: the kernel grants a process access to the
+     * command pages of physical pages it owns).
+     *
+     * @return the base virtual address of the command window.
+     */
+    Addr mapCommandPages(Process &proc, Addr vaddr, std::size_t npages);
+
+    // ---- paging (host/test driven; async under INVALIDATE) ----
+
+    /**
+     * Evict the page backing (@p proc, @p vaddr): saves contents to
+     * swap, invalidates remote NIPT entries per the consistency
+     * policy, releases the frame. @p done fires with success=false if
+     * the policy forbids eviction (PIN + pinned).
+     */
+    void evictUserPage(Process &proc, Addr vaddr,
+                       std::function<void(bool)> done);
+
+    /** Page a previously evicted page back in (allocates a frame). */
+    std::uint64_t pageIn(Process &proc, PageNum vpage);
+
+    /**
+     * Reap a process: tear down all of its mappings. Outgoing NIPT
+     * entries are cleared immediately; frames with incoming mappings
+     * are shot down (remote kernels invalidate their senders' NIPT
+     * entries) and released. Remote remap attempts targeting a reaped
+     * process are refused. Exited-but-unreaped processes keep their
+     * memory and mappings, so late-arriving data still lands.
+     */
+    void reapProcess(Process &proc);
+
+    /** True if (proc, vpage) currently lives in swap. */
+    bool inSwap(Pid pid, PageNum vpage) const;
+
+    // ---- TrapHandler ----
+    std::optional<Tick> syscall(ExecContext &ctx, std::uint64_t num,
+                                Tick now) override;
+    std::optional<Tick> fault(ExecContext &ctx, FaultKind kind,
+                              Addr vaddr, bool write, Tick now) override;
+    void halted(ExecContext &ctx, Tick now) override;
+
+    // ---- services used by MapManager / NxService ----
+
+    /** Charge kernel instructions; returns the busy duration. */
+    Tick charge(ExecContext *ctx, std::uint64_t instructions);
+
+    /** Write one word into our outgoing channel page to @p peer. */
+    void writeChannelWord(NodeId peer, Addr offset, std::uint32_t value);
+
+    /** Functional read of a word from our channel-in page of @p peer. */
+    std::uint32_t readChannelWord(NodeId peer, Addr offset) const;
+
+    /** Block the process owning @p ctx (must be the running one). */
+    void blockCurrent(ExecContext &ctx);
+
+    /** Make @p proc runnable; dispatches if the CPU is idle. */
+    void makeReady(Process &proc);
+
+    /** Process that owns @p ctx. */
+    Process &processOf(ExecContext &ctx);
+
+    /** Arrival count for a user frame (WAIT_ARRIVAL bookkeeping). */
+    std::uint64_t arrivalCount(PageNum frame) const;
+
+    std::uint64_t contextSwitches() const { return _switches.value(); }
+    std::uint64_t fifoStalls() const { return _fifoStalls.value(); }
+    Tick fifoStallTicks() const
+    {
+        return static_cast<Tick>(_fifoStallTicks.value());
+    }
+    stats::Group &statGroup() { return _stats; }
+
+  private:
+    friend class MapManager;
+    friend class NxService;
+
+    /** Pick and install the next READY process. */
+    std::optional<Tick> scheduleNext(Tick now);
+
+
+
+    /** Arrival interrupt bottom half (runs on the CPU). */
+    Tick arrivalHandler(PageNum page, Tick now);
+
+    /** Outgoing-FIFO threshold handling (Section 4 flow control). */
+    void outFifoFull();
+    void outFifoDrained();
+
+    /** Preemption timer. */
+    void armQuantum(Process &proc);
+    void quantumExpired();
+
+    std::optional<Tick> doMapSyscall(ExecContext &ctx, Tick now);
+    std::optional<Tick> doUnmapSyscall(ExecContext &ctx, Tick now);
+    std::optional<Tick> doWaitArrival(ExecContext &ctx, Tick now);
+
+    /** Read a MapArgs block from user memory. */
+    bool readUserWords(ExecContext &ctx, Addr vaddr, std::uint32_t *out,
+                       unsigned nwords) const;
+
+    NodeId _node;
+    unsigned _numNodes;
+    Cpu &_cpu;
+    MainMemory &_mem;
+    XpressBus &_bus;
+    ShrimpNi &_ni;
+    Costs _costs;
+    FrameAllocator _frames;
+    ConsistencyPolicy _consistency = ConsistencyPolicy::PIN;
+    SchedPolicy _schedPolicy = SchedPolicy::ROUND_ROBIN;
+    std::uint32_t _currentGang = 0;
+
+    std::vector<std::unique_ptr<Process>> _processes;
+    std::deque<Process *> _readyQueue;
+    Process *_running = nullptr;
+    Pid _nextPid = 1;
+
+    // Kernel channel state: one in/out frame per peer.
+    std::vector<PageNum> _channelIn;    //!< indexed by peer node id
+    std::vector<PageNum> _channelOut;
+    std::unordered_map<PageNum, NodeId> _channelPeerOfFrame;
+
+    // WAIT_ARRIVAL bookkeeping.
+    std::unordered_map<PageNum, std::uint64_t> _arrivalCount;
+    std::unordered_map<PageNum, std::vector<Process *>> _arrivalWaiters;
+
+    // Swap storage: (pid, vpage) -> saved contents + attributes.
+    struct SwapEntry
+    {
+        std::vector<std::uint8_t> data;
+        Pte pte;    //!< attributes to restore (frame field unused)
+    };
+    std::map<std::pair<Pid, PageNum>, SwapEntry> _swap;
+
+    bool _stalledOnOutFifo = false;
+    Tick _stallStart = 0;
+    EventFunctionWrapper _quantumEvent;
+    Process *_quantumTarget = nullptr;
+
+    std::unique_ptr<MapManager> _mapManager;
+    std::unique_ptr<NxService> _nxService;
+
+    stats::Group _stats;
+    stats::Counter _switches{"contextSwitches", "context switches"};
+    stats::Counter _interruptCount{"interrupts",
+                                   "arrival interrupts handled"};
+    stats::Counter _fifoStalls{"fifoStalls",
+                               "outgoing-FIFO threshold stalls"};
+    stats::Counter _fifoStallTicks{"fifoStallTicks",
+                                   "ticks stalled on outgoing FIFO"};
+    stats::Counter _pageEvictions{"pageEvictions", "pages evicted"};
+    stats::Counter _pageIns{"pageIns", "pages brought back from swap"};
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_OS_KERNEL_HH

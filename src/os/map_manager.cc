@@ -1,0 +1,719 @@
+#include "os/map_manager.hh"
+
+#include "os/kernel.hh"
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+MapManager::MapManager(Kernel &kernel)
+    : _kernel(kernel), _peers(kernel.numNodes())
+{
+}
+
+// ---------------------------------------------------------------------
+// RPC engine
+// ---------------------------------------------------------------------
+
+void
+MapManager::sendRpc(NodeId peer, KernelRpc rpc)
+{
+    SHRIMP_ASSERT(peer < _peers.size() && peer != _kernel.nodeId(),
+                  "bad RPC peer ", peer);
+    PeerState &state = _peers[peer];
+    state.queue.push_back(std::move(rpc));
+    if (!state.inFlight)
+        transmit(peer, state);
+}
+
+void
+MapManager::transmit(NodeId peer, PeerState &state)
+{
+    SHRIMP_ASSERT(!state.inFlight && !state.queue.empty(),
+                  "bad transmit state");
+    state.current = std::move(state.queue.front());
+    state.queue.pop_front();
+    state.inFlight = true;
+    ++_rpcsSent;
+    writeRecord(peer, channel::reqOffset, state.nextSeq++,
+                state.current.type, state.current.payload.data());
+}
+
+void
+MapManager::writeRecord(NodeId peer, Addr rec_offset, std::uint32_t seq,
+                        std::uint32_t type, const std::uint32_t *payload)
+{
+    // Payload first, then type, then the seq doorbell: with in-order
+    // delivery, a visible seq implies a complete record.
+    for (unsigned i = 0; i < channel::payloadWords; ++i) {
+        _kernel.writeChannelWord(peer,
+                                 rec_offset + channel::payloadWord + 4 * i,
+                                 payload[i]);
+    }
+    _kernel.writeChannelWord(peer, rec_offset + channel::typeWord, type);
+    _kernel.writeChannelWord(peer, rec_offset + channel::seqWord, seq);
+}
+
+std::uint64_t
+MapManager::handleChannelArrival(NodeId peer)
+{
+    _workAccum = 0;
+    PeerState &state = _peers[peer];
+
+    // Incoming request?
+    std::uint32_t req_seq =
+        _kernel.readChannelWord(peer, channel::reqOffset +
+                                          channel::seqWord);
+    if (req_seq != state.lastReqSeen && req_seq != 0) {
+        state.lastReqSeen = req_seq;
+        std::uint32_t type = _kernel.readChannelWord(
+            peer, channel::reqOffset + channel::typeWord);
+        std::uint32_t payload[channel::payloadWords];
+        for (unsigned i = 0; i < channel::payloadWords; ++i) {
+            payload[i] = _kernel.readChannelWord(
+                peer, channel::reqOffset + channel::payloadWord + 4 * i);
+        }
+
+        addWork(_kernel.costs().rpcDispatch);
+        std::uint32_t resp[channel::payloadWords] = {};
+        switch (type) {
+          case channel::MAP_PAGE:
+            resp[0] = handleMapPage(peer, payload, resp);
+            break;
+          case channel::UNMAP_PAGE:
+            resp[0] = handleUnmapPage(peer, payload);
+            break;
+          case channel::INVALIDATE:
+            resp[0] = handleInvalidate(peer, payload);
+            break;
+          default:
+            resp[0] = err::INVAL;
+            break;
+        }
+        writeRecord(peer, channel::respOffset, req_seq, type, resp);
+    }
+
+    // Incoming response to our in-flight request?
+    std::uint32_t resp_seq =
+        _kernel.readChannelWord(peer, channel::respOffset +
+                                          channel::seqWord);
+    if (state.inFlight && resp_seq == state.nextSeq - 1 &&
+        resp_seq != state.lastRespSeen) {
+        state.lastRespSeen = resp_seq;
+        std::uint32_t resp[channel::payloadWords];
+        for (unsigned i = 0; i < channel::payloadWords; ++i) {
+            resp[i] = _kernel.readChannelWord(
+                peer, channel::respOffset + channel::payloadWord + 4 * i);
+        }
+        state.inFlight = false;
+        KernelRpc completed = std::move(state.current);
+        if (!state.queue.empty())
+            transmit(peer, state);
+        if (completed.onResponse)
+            completed.onResponse(resp);
+    }
+
+    return _workAccum;
+}
+
+// ---------------------------------------------------------------------
+// Request handlers (receiver side)
+// ---------------------------------------------------------------------
+
+std::uint32_t
+MapManager::handleMapPage(NodeId peer, const std::uint32_t *p,
+                          std::uint32_t *resp)
+{
+    Pid dst_pid = p[0];
+    PageNum dst_vpage = p[1];
+    auto mode = static_cast<UpdateMode>(p[2]);
+    std::uint32_t flags = p[3];
+    (void)mode;
+
+    addWork(_kernel.costs().mapRemotePerPage);
+
+    Process *proc = _kernel.findProcess(dst_pid);
+    if (!proc || proc->reaped)
+        return err::NOPROC;
+
+    Pte *pte = proc->space().pageTable().find(dst_vpage);
+    if (!pte) {
+        // Paged out? Bring it back so the frame can receive data.
+        if (_kernel.inSwap(dst_pid, dst_vpage)) {
+            addWork(_kernel.costs().pageSwap);
+            std::uint64_t e = _kernel.pageIn(*proc, dst_vpage);
+            if (e != err::OK)
+                return static_cast<std::uint32_t>(e);
+            pte = proc->space().pageTable().find(dst_vpage);
+        }
+        if (!pte)
+            return err::INVAL;
+    }
+    if (!pte->writable || !pte->user)
+        return err::PERM;   // protection check, once, at map time
+
+    PageNum frame = pte->frame;
+    InRecord rec;
+    rec.pid = dst_pid;
+    rec.vpage = dst_vpage;
+    rec.srcNode = peer;
+    rec.flags = flags;
+    rec.pinned = _kernel.consistencyPolicy() == ConsistencyPolicy::PIN;
+    recordInDirect(rec, frame,
+                   (flags & map_flags::ARRIVAL_INTERRUPT) != 0);
+
+    resp[1] = static_cast<std::uint32_t>(frame);
+    return err::OK;
+}
+
+std::uint32_t
+MapManager::handleUnmapPage(NodeId peer, const std::uint32_t *p)
+{
+    Pid dst_pid = p[0];
+    PageNum dst_vpage = p[1];
+
+    addWork(_kernel.costs().mapRemotePerPage);
+
+    PageNum frame = frameOf(dst_pid, dst_vpage);
+
+    for (auto &[f, recs] : _inByFrame) {
+        if (frame != INVALID_PAGE && f != frame)
+            continue;
+        for (auto it = recs.begin(); it != recs.end(); ++it) {
+            if (it->pid == dst_pid && it->vpage == dst_vpage &&
+                it->srcNode == peer) {
+                if (it->pinned)
+                    _kernel.frames().unpin(f);
+                recs.erase(it);
+                // Last incoming mapping gone: close the page.
+                if (recs.empty()) {
+                    NiptEntry &e = _kernel.ni().nipt().entry(f);
+                    e.mappedIn = false;
+                    e.interruptOnArrival = false;
+                    e.inSources.clear();
+                } else {
+                    NiptEntry &e = _kernel.ni().nipt().entry(f);
+                    e.inSources.clear();
+                    for (const InRecord &r : recs)
+                        e.inSources.push_back(r.srcNode);
+                }
+                return err::OK;
+            }
+        }
+    }
+    return err::INVAL;
+}
+
+std::uint32_t
+MapManager::handleInvalidate(NodeId peer, const std::uint32_t *p)
+{
+    PageNum remote_frame = p[0];
+    ++_invalidationsReceived;
+    addWork(_kernel.costs().mapRemotePerPage);
+
+    // Invalidate every active mapping half we have toward that frame:
+    // clear the NIPT entry and make the source virtual page read-only
+    // so the next store faults and triggers a REMAP (Section 4.4).
+    for (OutRecord &rec : _out) {
+        if (rec.dstNode != peer || rec.dstFrame != remote_frame ||
+            rec.invalidated) {
+            continue;
+        }
+        rec.invalidated = true;
+        PageNum frame = frameOf(rec.pid, rec.vpage);
+        if (frame != INVALID_PAGE)
+            clearOutHalf(frame, rec);
+        Process *proc = _kernel.findProcess(rec.pid);
+        if (proc)
+            proc->space().pageTable().setWritable(rec.vpage, false);
+    }
+    return err::OK;
+}
+
+// ---------------------------------------------------------------------
+// NIPT installation helpers
+// ---------------------------------------------------------------------
+
+std::optional<bool>
+MapManager::slotForHalf(const NiptEntry &e, Addr begin, Addr end) const
+{
+    bool whole = begin == 0 && end == PAGE_SIZE;
+    bool low_valid = e.outLow.valid();
+    bool high_valid = e.outHigh.valid();
+
+    if (whole)
+        return (low_valid || high_valid)
+                   ? std::nullopt
+                   : std::optional<bool>(false);
+    if (low_valid && high_valid)
+        return std::nullopt;    // both hardware slots taken
+    if (!low_valid && !high_valid) {
+        // First half on the page: a half reaching the page end sits
+        // in the high slot, anything else in the low slot.
+        return end == PAGE_SIZE;
+    }
+    if (low_valid) {
+        // The low slot covers [0, split); the new half must lie
+        // entirely at or above the split to take the high slot.
+        return begin >= e.splitOffset ? std::optional<bool>(true)
+                                      : std::nullopt;
+    }
+    // The high slot covers [split, PAGE_SIZE).
+    return end <= e.splitOffset ? std::optional<bool>(false)
+                                : std::nullopt;
+}
+
+bool
+MapManager::canInstallHalf(PageNum frame, Addr begin, Addr end) const
+{
+    return slotForHalf(_kernel.ni().nipt().entry(frame), begin, end)
+        .has_value();
+}
+
+void
+MapManager::installOutHalf(PageNum frame, OutRecord &rec)
+{
+    NiptEntry &e = _kernel.ni().nipt().entry(frame);
+    OutMapping m;
+    m.mode = rec.mode;
+    m.dstNode = rec.dstNode;
+    m.dstPage = rec.dstFrame;
+    m.dstOffsetDelta = rec.dstDelta;
+
+    auto slot = slotForHalf(e, rec.halfBegin, rec.halfEnd);
+    SHRIMP_ASSERT(slot.has_value(),
+                  "no free NIPT mapping slot on frame ", frame,
+                  " for [", rec.halfBegin, ",", rec.halfEnd, ")");
+    rec.highSlot = *slot;
+
+    bool first = !e.outLow.valid() && !e.outHigh.valid();
+    if (rec.halfBegin == 0 && rec.halfEnd == PAGE_SIZE) {
+        e.splitOffset = 0;              // whole page
+    } else if (first) {
+        // The split point is fixed by the first half installed; a
+        // later complementary half must fit the other side of it.
+        e.splitOffset = *slot ? rec.halfBegin : rec.halfEnd;
+    }
+    if (*slot)
+        e.outHigh = m;
+    else
+        e.outLow = m;
+}
+
+void
+MapManager::clearOutHalf(PageNum frame, const OutRecord &rec)
+{
+    NiptEntry &e = _kernel.ni().nipt().entry(frame);
+    if (rec.highSlot)
+        e.outHigh = OutMapping{};
+    else
+        e.outLow = OutMapping{};
+    if (!e.outLow.valid() && !e.outHigh.valid())
+        e.splitOffset = 0;
+}
+
+PageNum
+MapManager::frameOf(Pid pid, PageNum vpage) const
+{
+    Process *proc = _kernel.findProcess(pid);
+    if (!proc)
+        return INVALID_PAGE;
+    const Pte *pte = proc->space().pageTable().find(vpage);
+    return pte ? pte->frame : INVALID_PAGE;
+}
+
+void
+MapManager::recordOutDirect(OutRecord rec, PageNum local_frame)
+{
+    installOutHalf(local_frame, rec);   // sets rec.highSlot
+    _out.push_back(rec);
+}
+
+void
+MapManager::recordInDirect(const InRecord &rec, PageNum frame,
+                           bool arrival_interrupt)
+{
+    if (rec.pinned)
+        _kernel.frames().pin(frame);
+    NiptEntry &e = _kernel.ni().nipt().entry(frame);
+    e.mappedIn = true;
+    if (arrival_interrupt)
+        e.interruptOnArrival = true;
+    bool have_src = false;
+    for (NodeId n : e.inSources)
+        have_src = have_src || n == rec.srcNode;
+    if (!have_src)
+        e.inSources.push_back(rec.srcNode);
+    _inByFrame[frame].push_back(rec);
+}
+
+// ---------------------------------------------------------------------
+// map()/unmap() protocol (source side)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Per-syscall protocol state, heap-held across RPC round trips. */
+struct MapOp
+{
+    Process *proc;
+    MapArgs args;
+    std::size_t page = 0;
+    std::function<void(std::uint64_t)> done;
+};
+
+} // namespace
+
+void
+MapManager::startMap(Process &proc, const MapArgs &args,
+                     std::function<void(std::uint64_t)> done)
+{
+    // Validate the source range once up front.
+    for (std::uint32_t i = 0; i < args.npages; ++i) {
+        PageNum vpage = pageOf(args.localVaddr) + i;
+        const Pte *pte = proc.space().pageTable().find(vpage);
+        if (!pte || !pte->writable || !pte->user) {
+            done(err::PERM);
+            return;
+        }
+        // One outgoing mapping per page on the syscall path (the
+        // hardware's split mechanism is driven by mapDirectRange).
+        if (_kernel.ni().nipt().entry(pte->frame).anyOut()) {
+            done(err::AGAIN);
+            return;
+        }
+    }
+    auto mode = static_cast<UpdateMode>(args.mode);
+    if (mode != UpdateMode::AUTO_SINGLE && mode != UpdateMode::AUTO_BLOCK
+        && mode != UpdateMode::DELIBERATE) {
+        done(err::INVAL);
+        return;
+    }
+    if (args.dstNode >= _kernel.numNodes() ||
+        args.dstNode == _kernel.nodeId()) {
+        // Same-node mappings would bypass the network; the paper's
+        // design targets cross-node communication only.
+        done(err::INVAL);
+        return;
+    }
+
+    auto op = std::make_shared<MapOp>();
+    op->proc = &proc;
+    op->args = args;
+    op->done = std::move(done);
+
+    // Per-page RPC chain.
+    auto next_fn = std::make_shared<std::function<void()>>();
+    *next_fn = [this, op, next_fn]() {
+        if (op->page == op->args.npages) {
+            op->done(err::OK);
+            return;
+        }
+        std::uint32_t i = static_cast<std::uint32_t>(op->page);
+        KernelRpc rpc;
+        rpc.type = channel::MAP_PAGE;
+        rpc.payload = {op->args.dstPid,
+                       static_cast<std::uint32_t>(
+                           pageOf(op->args.dstVaddr) + i),
+                       op->args.mode, op->args.flags, 0, 0};
+        rpc.onResponse = [this, op, next_fn, i](const std::uint32_t *r) {
+            if (r[0] != err::OK) {
+                op->done(r[0]);
+                return;
+            }
+            addWork(_kernel.costs().mapInstallPerPage);
+
+            PageNum vpage = pageOf(op->args.localVaddr) + i;
+            Pte *pte = op->proc->space().pageTable().find(vpage);
+            if (!pte) {
+                op->done(err::INVAL);
+                return;
+            }
+            OutRecord rec;
+            rec.pid = op->proc->pid();
+            rec.vpage = vpage;
+            rec.dstNode = op->args.dstNode;
+            rec.dstPid = op->args.dstPid;
+            rec.dstVpage = pageOf(op->args.dstVaddr) + i;
+            rec.dstFrame = r[1];
+            rec.mode = static_cast<UpdateMode>(op->args.mode);
+            rec.flags = op->args.flags;
+            recordOutDirect(rec, pte->frame);
+            // Mapped-out pages are snooped: force write-through.
+            pte->policy = CachePolicy::WRITE_THROUGH;
+
+            op->page++;
+            (*next_fn)();
+        };
+        sendRpc(op->args.dstNode, std::move(rpc));
+    };
+    (*next_fn)();
+}
+
+void
+MapManager::startUnmap(Process &proc, const MapArgs &args,
+                       std::function<void(std::uint64_t)> done)
+{
+    auto op = std::make_shared<MapOp>();
+    op->proc = &proc;
+    op->args = args;
+    op->done = std::move(done);
+
+    auto next_fn = std::make_shared<std::function<void()>>();
+    *next_fn = [this, op, next_fn]() {
+        if (op->page == op->args.npages) {
+            op->done(err::OK);
+            return;
+        }
+        std::uint32_t i = static_cast<std::uint32_t>(op->page);
+        PageNum vpage = pageOf(op->args.localVaddr) + i;
+        PageNum dst_vpage = pageOf(op->args.dstVaddr) + i;
+
+        // Find and remove our record first.
+        bool found = false;
+        OutRecord removed;
+        for (auto it = _out.begin(); it != _out.end(); ++it) {
+            if (it->pid == op->proc->pid() && it->vpage == vpage &&
+                it->dstNode == op->args.dstNode &&
+                it->dstPid == op->args.dstPid &&
+                it->dstVpage == dst_vpage) {
+                removed = *it;
+                _out.erase(it);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            op->done(err::INVAL);
+            return;
+        }
+        PageNum frame = frameOf(op->proc->pid(), vpage);
+        if (frame != INVALID_PAGE && !removed.invalidated)
+            clearOutHalf(frame, removed);
+        addWork(_kernel.costs().mapInstallPerPage);
+
+        KernelRpc rpc;
+        rpc.type = channel::UNMAP_PAGE;
+        rpc.payload = {op->args.dstPid,
+                       static_cast<std::uint32_t>(dst_vpage), 0, 0, 0, 0};
+        rpc.onResponse = [op, next_fn](const std::uint32_t *r) {
+            if (r[0] != err::OK) {
+                op->done(r[0]);
+                return;
+            }
+            op->page++;
+            (*next_fn)();
+        };
+        sendRpc(op->args.dstNode, std::move(rpc));
+    };
+    (*next_fn)();
+}
+
+// ---------------------------------------------------------------------
+// Consistency: shootdown and remap
+// ---------------------------------------------------------------------
+
+void
+MapManager::shootdown(PageNum frame, std::function<void()> done)
+{
+    auto it = _inByFrame.find(frame);
+    if (it == _inByFrame.end() || it->second.empty()) {
+        done();
+        return;
+    }
+
+    // Distinct source nodes.
+    std::vector<NodeId> sources;
+    for (const InRecord &rec : it->second) {
+        bool seen = false;
+        for (NodeId n : sources)
+            seen = seen || n == rec.srcNode;
+        if (!seen)
+            sources.push_back(rec.srcNode);
+    }
+
+    auto remaining = std::make_shared<std::size_t>(sources.size());
+    auto done_fn =
+        std::make_shared<std::function<void()>>(std::move(done));
+    for (NodeId src : sources) {
+        KernelRpc rpc;
+        rpc.type = channel::INVALIDATE;
+        rpc.payload = {static_cast<std::uint32_t>(frame), 0, 0, 0, 0, 0};
+        rpc.onResponse = [remaining, done_fn](const std::uint32_t *) {
+            if (--*remaining == 0)
+                (*done_fn)();
+        };
+        sendRpc(src, std::move(rpc));
+    }
+}
+
+bool
+MapManager::needsRemap(Pid pid, PageNum vpage) const
+{
+    for (const OutRecord &rec : _out) {
+        if (rec.pid == pid && rec.vpage == vpage && rec.invalidated)
+            return true;
+    }
+    return false;
+}
+
+void
+MapManager::startRemap(Process &proc, PageNum vpage,
+                       std::function<void(std::uint64_t)> done)
+{
+    // Collect indexes of invalidated records for this page.
+    auto targets = std::make_shared<std::vector<std::size_t>>();
+    for (std::size_t i = 0; i < _out.size(); ++i) {
+        if (_out[i].pid == proc.pid() && _out[i].vpage == vpage &&
+            _out[i].invalidated) {
+            targets->push_back(i);
+        }
+    }
+    SHRIMP_ASSERT(!targets->empty(), "remap with nothing to do");
+
+    auto pos = std::make_shared<std::size_t>(0);
+    auto done_fn = std::make_shared<std::function<void(std::uint64_t)>>(
+        std::move(done));
+    auto proc_ptr = &proc;
+
+    auto next_fn = std::make_shared<std::function<void()>>();
+    *next_fn = [this, targets, pos, done_fn, next_fn, proc_ptr,
+                vpage]() {
+        if (*pos == targets->size()) {
+            // All halves re-established: restore write permission.
+            proc_ptr->space().pageTable().setWritable(vpage, true);
+            ++_remaps;
+            (*done_fn)(err::OK);
+            return;
+        }
+        std::size_t idx = (*targets)[*pos];
+        const OutRecord &rec = _out[idx];
+        KernelRpc rpc;
+        rpc.type = channel::MAP_PAGE;
+        rpc.payload = {rec.dstPid,
+                       static_cast<std::uint32_t>(rec.dstVpage),
+                       static_cast<std::uint32_t>(rec.mode), rec.flags,
+                       0, 0};
+        NodeId peer = rec.dstNode;
+        rpc.onResponse = [this, idx, pos, done_fn, next_fn, proc_ptr,
+                          vpage](const std::uint32_t *r) {
+            if (r[0] != err::OK) {
+                (*done_fn)(r[0]);
+                return;
+            }
+            OutRecord &rec2 = _out[idx];
+            rec2.dstFrame = r[1];
+            rec2.invalidated = false;
+            PageNum frame = frameOf(rec2.pid, rec2.vpage);
+            SHRIMP_ASSERT(frame != INVALID_PAGE,
+                          "remap of a non-resident source page");
+            installOutHalf(frame, rec2);
+            addWork(_kernel.costs().mapInstallPerPage);
+            ++*pos;
+            (*next_fn)();
+        };
+        sendRpc(peer, std::move(rpc));
+    };
+    (*next_fn)();
+}
+
+// ---------------------------------------------------------------------
+// Frame lifecycle
+// ---------------------------------------------------------------------
+
+void
+MapManager::frameMoved(Pid pid, PageNum vpage, PageNum new_frame)
+{
+    // Records were created in ascending halfBegin order, so
+    // reinstalling in record order reconstructs the split correctly.
+    for (OutRecord &rec : _out) {
+        if (rec.pid == pid && rec.vpage == vpage && !rec.invalidated)
+            installOutHalf(new_frame, rec);
+    }
+}
+
+void
+MapManager::frameDropped(PageNum frame)
+{
+    NiptEntry &e = _kernel.ni().nipt().entry(frame);
+    e = NiptEntry{};
+    _inByFrame.erase(frame);
+}
+
+void
+MapManager::releaseAllPins()
+{
+    for (auto &[frame, recs] : _inByFrame) {
+        for (InRecord &rec : recs) {
+            if (rec.pinned) {
+                rec.pinned = false;
+                _kernel.frames().unpin(frame);
+            }
+        }
+    }
+}
+
+std::vector<PageNum>
+MapManager::cleanupProcess(Pid pid)
+{
+    // Outgoing side: stop forwarding this process's stores (it will
+    // never store again, but the NIPT entries must not dangle into
+    // other processes if the frames are reused).
+    for (auto it = _out.begin(); it != _out.end();) {
+        if (it->pid != pid) {
+            ++it;
+            continue;
+        }
+        PageNum frame = frameOf(pid, it->vpage);
+        if (frame != INVALID_PAGE && !it->invalidated)
+            clearOutHalf(frame, *it);
+        it = _out.erase(it);
+    }
+
+    // Incoming side: frames remote senders still target.
+    std::vector<PageNum> victims;
+    for (const auto &[frame, recs] : _inByFrame) {
+        for (const InRecord &rec : recs) {
+            if (rec.pid == pid) {
+                victims.push_back(frame);
+                break;
+            }
+        }
+    }
+    return victims;
+}
+
+void
+MapManager::releaseInMappings(PageNum frame)
+{
+    auto it = _inByFrame.find(frame);
+    if (it == _inByFrame.end())
+        return;
+    for (const InRecord &rec : it->second) {
+        if (rec.pinned)
+            _kernel.frames().unpin(frame);
+    }
+    _inByFrame.erase(it);
+
+    NiptEntry &e = _kernel.ni().nipt().entry(frame);
+    e.mappedIn = false;
+    e.interruptOnArrival = false;
+    e.inSources.clear();
+}
+
+bool
+MapManager::hasInMappings(PageNum frame) const
+{
+    auto it = _inByFrame.find(frame);
+    return it != _inByFrame.end() && !it->second.empty();
+}
+
+const std::vector<MapManager::InRecord> *
+MapManager::inRecords(PageNum frame) const
+{
+    auto it = _inByFrame.find(frame);
+    return it == _inByFrame.end() ? nullptr : &it->second;
+}
+
+} // namespace shrimp

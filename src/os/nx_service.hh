@@ -1,0 +1,172 @@
+/**
+ * @file
+ * NxService: the kernel-level NX/2-style message-passing baseline the
+ * paper compares against (Section 5.2, "NX/2 Primitives").
+ *
+ * This models the traditional software architecture of the iPSC/2's
+ * NX/2: csend/crecv are system calls; messages pass through
+ * kernel-managed buffers (one copy on each side); the kernel's fast
+ * paths cost 222 / 261 instructions; and each message involves DMA
+ * send/receive interrupts. It runs over the same simulated hardware,
+ * so the comparison against the user-level SHRIMP primitives isolates
+ * exactly the software-architecture difference the paper highlights:
+ * user/kernel crossings, kernel buffering, and per-message interrupts.
+ *
+ * Messages are typed (16-bit), matched FIFO per type, with the paper's
+ * restriction that each type has a single sender. One message may be
+ * in flight per ordered node pair; a sender blocks until the
+ * receiver's kernel returns the slot credit.
+ */
+
+#ifndef SHRIMP_OS_NX_SERVICE_HH
+#define SHRIMP_OS_NX_SERVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "os/syscalls.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+class Kernel;
+class Process;
+class ExecContext;
+
+/** Kernel-level buffered message passing (the NX/2 baseline). */
+class NxService
+{
+  public:
+    /** Kernel buffer pages per ordered node pair (max message size). */
+    static constexpr std::size_t slotPages = 2;
+    static constexpr Addr maxMessageBytes = slotPages * PAGE_SIZE;
+
+    /** Control page layout (one per ordered pair direction). */
+    static constexpr Addr ctlDoorbellSeq = 0;
+    static constexpr Addr ctlType = 4;
+    static constexpr Addr ctlNbytes = 8;
+    static constexpr Addr ctlCreditSeq = 16;
+
+    explicit NxService(Kernel &kernel);
+
+    // ---- boot wiring (mirrors the kernel map channel wiring) ----
+    void allocatePages();
+    PageNum dataInFrame(NodeId peer, std::size_t page) const;
+    PageNum ctlInFrame(NodeId peer) const;
+    void wireTo(NodeId peer, const std::vector<PageNum> &data_frames,
+                PageNum ctl_frame);
+
+    /** Does @p frame belong to this service (for arrival routing)? */
+    bool ownsFrame(PageNum frame) const;
+
+    /** Arrival interrupt on one of our frames; returns instructions
+     *  of kernel work performed. */
+    std::uint64_t handleArrival(NodeId unused_hint, PageNum frame);
+
+    /** SYS_NX_CSEND implementation. Returns the resume tick, or
+     *  nullopt if the process blocked. */
+    std::optional<Tick> csend(ExecContext &ctx, const NxArgs &args,
+                              Tick now);
+
+    /** SYS_NX_CRECV implementation. */
+    std::optional<Tick> crecv(ExecContext &ctx, const NxArgs &args,
+                              Tick now);
+
+    std::uint64_t messagesSent() const { return _sent; }
+    std::uint64_t messagesDelivered() const { return _delivered; }
+
+  private:
+    struct PendingMessage
+    {
+        NodeId from = INVALID_NODE;
+        std::uint32_t type = 0;
+        std::uint32_t nbytes = 0;
+    };
+
+    struct BlockedReceiver
+    {
+        Process *proc = nullptr;
+        std::uint32_t type = 0;
+        Addr buf = 0;
+    };
+
+    struct BlockedSender
+    {
+        Process *proc = nullptr;
+        NxArgs args;
+    };
+
+    /** State of one in-progress outgoing message (copy + DMA phase). */
+    struct TransferState
+    {
+        bool active = false;
+        Process *proc = nullptr;
+        NodeId node = INVALID_NODE;
+        std::uint32_t type = 0;
+        std::uint32_t nbytes = 0;
+        std::uint32_t page = 0;         //!< slot page being DMA-ed
+        Addr pendingBase = 0;           //!< DMA base we are waiting on
+    };
+
+    struct PeerState
+    {
+        std::vector<PageNum> dataOut;   //!< local frames, mapped out
+        std::vector<PageNum> dataIn;    //!< local frames, mapped in
+        PageNum ctlOut = INVALID_PAGE;
+        PageNum ctlIn = INVALID_PAGE;
+
+        std::uint32_t sendSeq = 0;      //!< doorbells we have rung
+        std::uint32_t creditSeen = 0;   //!< credits returned to us
+        std::uint32_t recvSeqSeen = 0;  //!< doorbells we have consumed
+        bool sendInProgress = false;    //!< copy/DMA phase active
+        TransferState xfer;
+        std::deque<BlockedSender> sendWaiters;
+        std::optional<PendingMessage> pending;  //!< undelivered arrival
+    };
+
+    /** Slot is free when every doorbell we rang has been credited. */
+    bool
+    slotFree(const PeerState &peer) const
+    {
+        return !peer.sendInProgress && peer.sendSeq == peer.creditSeen;
+    }
+
+    /** Copy + DMA + doorbell for one message (slot already free). */
+    void beginTransfer(Process &proc, const NxArgs &args);
+
+    /** Claim the (shared) DMA engine for the next slot page. */
+    void startNextDmaPage(NodeId node);
+
+    /** DeliberateDma completion hook; matches against our transfers. */
+    void dmaCompleted(Addr base);
+
+    /** Doorbell + sender wakeup once all pages are on the wire. */
+    void finishSend(NodeId node);
+
+    /** Try to deliver a pending message to a blocked receiver. */
+    std::uint64_t tryDeliver(NodeId from);
+
+    /** Copy a delivered message into a receiver's buffer + credit. */
+    std::uint64_t deliverTo(NodeId from, Process &proc, Addr buf);
+
+    void writeCtlWord(NodeId peer, Addr offset, std::uint32_t value);
+    std::uint32_t readCtlWord(NodeId peer, Addr offset) const;
+
+    Kernel &_kernel;
+    std::vector<PeerState> _peers;
+    std::unordered_map<PageNum, NodeId> _frameOwner;
+    std::unordered_map<PageNum, NodeId> _ctlFrameOwner;
+    std::vector<BlockedReceiver> _blockedReceivers;
+
+    std::uint64_t _sent = 0;
+    std::uint64_t _delivered = 0;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_OS_NX_SERVICE_HH

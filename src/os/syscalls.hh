@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Syscall numbers and user/kernel argument layouts.
+ *
+ * The map() call is the paper's central kernel service: it performs
+ * protection checking once and installs NIPT state, after which all
+ * communication proceeds at user level (Section 2).
+ */
+
+#ifndef SHRIMP_OS_SYSCALLS_HH
+#define SHRIMP_OS_SYSCALLS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+namespace sys
+{
+
+constexpr std::uint64_t EXIT = 1;
+constexpr std::uint64_t YIELD = 2;
+constexpr std::uint64_t GETPID = 3;
+constexpr std::uint64_t NODE_ID = 4;
+
+/** map(args @ R1): establish an outgoing mapping. Returns 0 or errno. */
+constexpr std::uint64_t MAP = 5;
+/** unmap(args @ R1): tear down a mapping established with MAP. */
+constexpr std::uint64_t UNMAP = 6;
+/** Block until data arrives for the page containing vaddr (R1). The
+ *  page must have its NIPT interrupt-on-arrival bit set. */
+constexpr std::uint64_t WAIT_ARRIVAL = 7;
+
+/** Kernel-level NX/2 baseline (iPSC/2-style buffered send/receive). */
+constexpr std::uint64_t NX_CSEND = 8;
+constexpr std::uint64_t NX_CRECV = 9;
+
+} // namespace sys
+
+namespace err
+{
+constexpr std::uint64_t OK = 0;
+constexpr std::uint64_t INVAL = 1;      //!< bad arguments
+constexpr std::uint64_t NOPROC = 2;     //!< no such process
+constexpr std::uint64_t NOMEM = 3;      //!< out of frames
+constexpr std::uint64_t PERM = 4;       //!< protection check failed
+constexpr std::uint64_t AGAIN = 5;      //!< resource busy
+} // namespace err
+
+/**
+ * Argument block for MAP/UNMAP, read by the kernel from user memory at
+ * the address in R1. All fields are 32-bit words, matching the 32-bit
+ * target machine.
+ */
+struct MapArgs
+{
+    std::uint32_t localVaddr = 0;   //!< page-aligned send-buffer base
+    std::uint32_t npages = 0;
+    std::uint32_t dstNode = 0;
+    std::uint32_t dstPid = 0;
+    std::uint32_t dstVaddr = 0;     //!< page-aligned receive-buffer base
+    std::uint32_t mode = 0;         //!< UpdateMode numeric value
+    std::uint32_t flags = 0;        //!< MapFlags bits
+
+    static constexpr Addr sizeBytes = 28;
+};
+
+namespace map_flags
+{
+/** Set the destination pages' interrupt-on-arrival NIPT bit. */
+constexpr std::uint32_t ARRIVAL_INTERRUPT = 1;
+} // namespace map_flags
+
+/** Argument block for NX_CSEND / NX_CRECV. */
+struct NxArgs
+{
+    std::uint32_t type = 0;         //!< 16-bit message type
+    std::uint32_t buf = 0;          //!< user buffer vaddr
+    std::uint32_t nbytes = 0;
+    std::uint32_t node = 0;         //!< destination (csend) / any (crecv)
+    std::uint32_t pid = 0;
+
+    static constexpr Addr sizeBytes = 20;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_OS_SYSCALLS_HH

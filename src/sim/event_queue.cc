@@ -1,0 +1,170 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+Event::~Event()
+{
+    // Components are routinely destroyed with events still pending
+    // (system teardown): invalidate our queue entry without touching
+    // the heap. The queue must outlive all embedded events; in this
+    // simulator the EventQueue is always the first member of the
+    // top-level system and therefore destroyed last.
+    if (_scheduled && _queue) {
+        _stamp = 0;
+        _scheduled = false;
+        _queue->noteDead();
+    }
+}
+
+EventQueue::~EventQueue()
+{
+    // Reclaim one-shot events that never fired. Embedded events have
+    // either fired or cancelled themselves via ~Event(); their heap
+    // entries may dangle, so the heap itself is not walked.
+    for (Event *ev : _liveOneShots) {
+        ev->_scheduled = false;     // bypass the dtor's queue access
+        ev->_queue = nullptr;
+        delete ev;
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when, int priority)
+{
+    SHRIMP_ASSERT(ev != nullptr, "null event");
+    SHRIMP_ASSERT(!ev->_scheduled,
+                  "double-schedule of '", ev->description(), "'");
+    SHRIMP_ASSERT(when >= _curTick, "schedule in the past: ", when,
+                  " < ", _curTick, " for '", ev->description(), "'");
+
+    ev->_when = when;
+    ev->_priority = priority;
+    ev->_stamp = _nextStamp++;
+    ev->_scheduled = true;
+    ev->_queue = this;
+    _queue.push(QueueEntry{when, priority, _nextSeq++, ev->_stamp, ev});
+    ++_liveCount;
+    if (ev->autoDelete())
+        _liveOneShots.push_back(ev);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    SHRIMP_ASSERT(ev != nullptr, "null event");
+    SHRIMP_ASSERT(ev->_scheduled,
+                  "deschedule of unscheduled '", ev->description(), "'");
+
+    // Lazy removal: invalidate the stamp; the heap entry is skipped when
+    // it reaches the top.
+    ev->_stamp = 0;
+    ev->_scheduled = false;
+    --_liveCount;
+    if (ev->autoDelete()) {
+        forgetOneShot(ev);
+        delete ev;
+    }
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when, int priority)
+{
+    if (ev->_scheduled)
+        deschedule(ev);
+    schedule(ev, when, priority);
+}
+
+void
+EventQueue::scheduleFn(std::function<void()> fn, Tick when, int priority,
+                       const char *desc)
+{
+    // Wrapper that deletes itself after firing.
+    class OneShot : public EventFunctionWrapper
+    {
+      public:
+        using EventFunctionWrapper::EventFunctionWrapper;
+        bool autoDelete() const override { return true; }
+    };
+
+    schedule(new OneShot(std::move(fn), desc), when, priority);
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!_queue.empty()) {
+        const QueueEntry &top = _queue.top();
+        if (top.stamp == top.ev->_stamp && top.ev->_scheduled)
+            return;
+        _queue.pop();
+    }
+}
+
+bool
+EventQueue::runOne()
+{
+    skipDead();
+    if (_queue.empty())
+        return false;
+
+    QueueEntry entry = _queue.top();
+    _queue.pop();
+
+    Event *ev = entry.ev;
+    SHRIMP_ASSERT(entry.when >= _curTick, "time went backwards");
+    _curTick = entry.when;
+
+    ev->_scheduled = false;
+    --_liveCount;
+    ++_numProcessed;
+
+    bool auto_delete = ev->autoDelete();
+    ev->process();
+    // `ev` may have rescheduled itself inside process(); only reclaim
+    // one-shot events, which by contract never reschedule.
+    if (auto_delete) {
+        forgetOneShot(ev);
+        delete ev;
+    }
+    return true;
+}
+
+void
+EventQueue::forgetOneShot(Event *ev)
+{
+    for (auto it = _liveOneShots.begin(); it != _liveOneShots.end();
+         ++it) {
+        if (*it == ev) {
+            *it = _liveOneShots.back();
+            _liveOneShots.pop_back();
+            return;
+        }
+    }
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+void
+EventQueue::runUntil(Tick when)
+{
+    for (;;) {
+        skipDead();
+        if (_queue.empty() || _queue.top().when > when)
+            break;
+        runOne();
+    }
+    if (when > _curTick)
+        _curTick = when;
+}
+
+} // namespace shrimp

@@ -1,0 +1,84 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace shrimp
+{
+
+namespace
+{
+
+std::unordered_set<std::string> &
+debugFlags()
+{
+    static std::unordered_set<std::string> flags;
+    return flags;
+}
+
+} // namespace
+
+namespace logging_detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    // Throwing (rather than abort()) lets death-style unit tests observe
+    // panics; nothing in the simulator catches this type.
+    throw std::logic_error("shrimp panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    throw std::runtime_error("shrimp fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace logging_detail
+
+void
+setDebugFlag(const std::string &flag)
+{
+    debugFlags().insert(flag);
+}
+
+void
+clearDebugFlag(const std::string &flag)
+{
+    debugFlags().erase(flag);
+}
+
+bool
+debugFlagEnabled(const std::string &flag)
+{
+    return debugFlags().count(flag) != 0;
+}
+
+void
+debugTraceLine(const std::string &flag, Tick when, const std::string &who,
+               const std::string &msg)
+{
+    std::cout << when << ": " << who << " [" << flag << "] " << msg
+              << std::endl;
+}
+
+} // namespace shrimp

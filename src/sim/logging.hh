@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Error reporting and debug tracing.
+ *
+ * Follows the gem5 convention: panic() for internal simulator bugs
+ * (aborts), fatal() for user/configuration errors (exits), warn() and
+ * inform() for status. Debug tracing is gated on named flags so tests
+ * and tools can enable per-subsystem traces.
+ */
+
+#ifndef SHRIMP_SIM_LOGGING_HH
+#define SHRIMP_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+namespace logging_detail
+{
+
+/** Fold arbitrary arguments into a string via operator<<. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/** Enable a named debug-trace flag (e.g. "Nic", "Router"). */
+void setDebugFlag(const std::string &flag);
+
+/** Disable a named debug-trace flag. */
+void clearDebugFlag(const std::string &flag);
+
+/** Query whether a debug-trace flag is enabled. */
+bool debugFlagEnabled(const std::string &flag);
+
+/** Emit one debug-trace line (already gated by the caller). */
+void debugTraceLine(const std::string &flag, Tick when,
+                    const std::string &who, const std::string &msg);
+
+} // namespace shrimp
+
+/** Internal simulator invariant violated: print and abort. */
+#define SHRIMP_PANIC(...)                                                   \
+    ::shrimp::logging_detail::panicImpl(                                    \
+        __FILE__, __LINE__, ::shrimp::logging_detail::format(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+#define SHRIMP_FATAL(...)                                                   \
+    ::shrimp::logging_detail::fatalImpl(                                    \
+        __FILE__, __LINE__, ::shrimp::logging_detail::format(__VA_ARGS__))
+
+/** Something suspicious but survivable. */
+#define SHRIMP_WARN(...)                                                    \
+    ::shrimp::logging_detail::warnImpl(                                     \
+        ::shrimp::logging_detail::format(__VA_ARGS__))
+
+/** Normal operational status message. */
+#define SHRIMP_INFORM(...)                                                  \
+    ::shrimp::logging_detail::informImpl(                                   \
+        ::shrimp::logging_detail::format(__VA_ARGS__))
+
+/**
+ * Debug trace gated on a named flag. `when` is the current tick and
+ * `who` the emitting component's name.
+ */
+#define SHRIMP_DTRACE(flag, when, who, ...)                                 \
+    do {                                                                    \
+        if (::shrimp::debugFlagEnabled(flag)) {                             \
+            ::shrimp::debugTraceLine(                                       \
+                flag, when, who,                                            \
+                ::shrimp::logging_detail::format(__VA_ARGS__));             \
+        }                                                                   \
+    } while (0)
+
+/** Assert an internal invariant with a formatted message. */
+#define SHRIMP_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            SHRIMP_PANIC("assertion failed: " #cond " ", __VA_ARGS__);      \
+        }                                                                   \
+    } while (0)
+
+#endif // SHRIMP_SIM_LOGGING_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload generators
+ * and property tests. A seeded xoshiro256** generator; every simulation
+ * that needs randomness takes an explicit Rng so runs are reproducible.
+ */
+
+#ifndef SHRIMP_SIM_RANDOM_HH
+#define SHRIMP_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace shrimp
+{
+
+/** xoshiro256** by Blackman & Vigna (public domain reference algorithm). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        // SplitMix64 seeding to decorrelate nearby seeds.
+        std::uint64_t x = seed;
+        for (auto &word : _s) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Debiased multiply-shift (Lemire).
+        for (;;) {
+            std::uint64_t x = next();
+            __uint128_t m = static_cast<__uint128_t>(x) * bound;
+            std::uint64_t lo = static_cast<std::uint64_t>(m);
+            if (lo >= bound || lo >= (-bound) % bound)
+                return static_cast<std::uint64_t>(m >> 64);
+        }
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_RANDOM_HH

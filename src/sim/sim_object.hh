@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SimObject: named base class for every modeled hardware/software
+ * component, and ClockedObject for components with their own clock.
+ */
+
+#ifndef SHRIMP_SIM_SIM_OBJECT_HH
+#define SHRIMP_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/**
+ * Base class for simulated components. Carries a hierarchical dotted
+ * name (e.g. "node3.nic.outFifo") and a reference to the global event
+ * queue.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name)
+        : _eq(eq), _name(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventQueue() const { return _eq; }
+    Tick curTick() const { return _eq.curTick(); }
+
+  protected:
+    void
+    schedule(Event &ev, Tick when, int priority = EventPriority::DEFAULT)
+    {
+        _eq.schedule(&ev, when, priority);
+    }
+
+    void
+    reschedule(Event &ev, Tick when,
+               int priority = EventPriority::DEFAULT)
+    {
+        _eq.reschedule(&ev, when, priority);
+    }
+
+    void deschedule(Event &ev) { _eq.deschedule(&ev); }
+
+  private:
+    EventQueue &_eq;
+    std::string _name;
+};
+
+/**
+ * A SimObject driven by a clock. Provides edge-alignment helpers so all
+ * activity of the component happens on its own clock edges.
+ */
+class ClockedObject : public SimObject
+{
+  public:
+    ClockedObject(EventQueue &eq, std::string name, std::uint64_t freq_hz)
+        : SimObject(eq, std::move(name)),
+          _period(freqToPeriod(freq_hz))
+    {}
+
+    /** Clock period in ticks. */
+    Tick clockPeriod() const { return _period; }
+
+    /** Duration of @p cycles clock cycles in ticks. */
+    Tick cyclesToTicks(std::uint64_t cycles) const
+    {
+        return cycles * _period;
+    }
+
+    /**
+     * The next clock edge at or after the current tick, plus @p cycles
+     * additional cycles.
+     */
+    Tick
+    clockEdge(std::uint64_t cycles = 0) const
+    {
+        Tick now = curTick();
+        Tick aligned = ((now + _period - 1) / _period) * _period;
+        return aligned + cycles * _period;
+    }
+
+  private:
+    Tick _period;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_SIM_OBJECT_HH

@@ -1,0 +1,100 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace shrimp
+{
+namespace stats
+{
+
+namespace
+{
+
+void
+printLine(std::ostream &os, const std::string &prefix,
+          const std::string &name, double value, const std::string &desc)
+{
+    os << std::left << std::setw(44) << (prefix + name) << " "
+       << std::right << std::setw(16) << value << "  # " << desc << "\n";
+}
+
+} // namespace
+
+void
+Counter::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), static_cast<double>(_value), desc());
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), _value, desc());
+}
+
+double
+Distribution::stddev() const
+{
+    if (_count < 2)
+        return 0.0;
+    double m = mean();
+    double var = _sumSq / _count - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name() + ".count",
+              static_cast<double>(_count), desc());
+    printLine(os, prefix, name() + ".mean", mean(), desc());
+    printLine(os, prefix, name() + ".min", minValue(), desc());
+    printLine(os, prefix, name() + ".max", maxValue(), desc());
+    printLine(os, prefix, name() + ".stddev", stddev(), desc());
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _sum = 0.0;
+    _sumSq = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+Group::Group(std::string name, Group *parent)
+    : _name(std::move(name))
+{
+    if (parent)
+        parent->_children.push_back(this);
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    dumpWithPrefix(os, "");
+}
+
+void
+Group::dumpWithPrefix(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix.empty() ? _name + "." : prefix + _name + ".";
+    for (const Stat *s : _stats)
+        s->dump(os, path);
+    for (const Group *g : _children)
+        g->dumpWithPrefix(os, path);
+}
+
+void
+Group::resetAll()
+{
+    for (Stat *s : _stats)
+        s->reset();
+    for (Group *g : _children)
+        g->resetAll();
+}
+
+} // namespace stats
+} // namespace shrimp

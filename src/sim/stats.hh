@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A small statistics package: scalar counters, distributions, and
+ * hierarchical stat groups with text dumping. Modeled loosely on the
+ * gem5 stats package, sized for this simulator.
+ */
+
+#ifndef SHRIMP_SIM_STATS_HH
+#define SHRIMP_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace shrimp
+{
+namespace stats
+{
+
+/** Base class for all statistics. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print one or more "name value # desc" lines. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonically increasing 64-bit event counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+    std::uint64_t value() const { return _value; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** A scalar that can be set to arbitrary values (gauges, ratios). */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator=(double v) { _value = v; return *this; }
+    double value() const { return _value; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * A sampled distribution tracking count, min, max, mean and standard
+ * deviation (via sum and sum-of-squares).
+ */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        _sumSq += v * v;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minValue() const { return _count ? _min : 0.0; }
+    double maxValue() const { return _count ? _max : 0.0; }
+    double stddev() const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A group of statistics belonging to one component. Groups form a tree
+ * mirroring the SimObject hierarchy; dump() walks the tree.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name, Group *parent = nullptr);
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Register a stat owned by the component (not by the group). */
+    void addStat(Stat *s) { _stats.push_back(s); }
+
+    /** Dump this group's stats and all children, prefixed by path. */
+    void dump(std::ostream &os) const;
+
+    /** Reset this group's stats and all children. */
+    void resetAll();
+
+  private:
+    void dumpWithPrefix(std::ostream &os, const std::string &prefix) const;
+
+    std::string _name;
+    std::vector<Stat *> _stats;
+    std::vector<Group *> _children;
+};
+
+} // namespace stats
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_STATS_HH

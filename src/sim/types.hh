@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental simulator-wide types and time constants.
+ *
+ * The simulator measures time in Ticks, where one tick is one picosecond.
+ * This gives exact integer periods for every clock in the modeled system
+ * (60 MHz CPU, 33.3 MHz Xpress bus, 8.33 MHz EISA BCLK, mesh links).
+ */
+
+#ifndef SHRIMP_SIM_TYPES_HH
+#define SHRIMP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace shrimp
+{
+
+/** Simulated time. 1 tick == 1 picosecond. */
+using Tick = std::uint64_t;
+
+/** Time unit constants, in ticks. */
+constexpr Tick ONE_PS = 1;
+constexpr Tick ONE_NS = 1000;
+constexpr Tick ONE_US = 1000 * ONE_NS;
+constexpr Tick ONE_MS = 1000 * ONE_US;
+constexpr Tick ONE_SEC = 1000 * ONE_MS;
+
+/** A tick value that compares greater than every real schedule time. */
+constexpr Tick MAX_TICK = std::numeric_limits<Tick>::max();
+
+/** Physical or virtual byte address within a node. */
+using Addr = std::uint64_t;
+
+/** Identifies a node (a PC plus its network interface) in the machine. */
+using NodeId = std::uint32_t;
+
+/** Identifies a process within one node's kernel. */
+using Pid = std::uint32_t;
+
+/** Page frame / virtual page numbers. */
+using PageNum = std::uint64_t;
+
+/**
+ * Page geometry. Fixed at the x86 architectural 4 KB page size used by
+ * the i486/Pentium nodes the paper targets.
+ */
+constexpr unsigned PAGE_SHIFT = 12;
+constexpr Addr PAGE_SIZE = Addr{1} << PAGE_SHIFT;
+constexpr Addr PAGE_OFFSET_MASK = PAGE_SIZE - 1;
+
+constexpr PageNum pageOf(Addr a) { return a >> PAGE_SHIFT; }
+constexpr Addr pageBase(PageNum p) { return Addr{p} << PAGE_SHIFT; }
+constexpr Addr pageOffset(Addr a) { return a & PAGE_OFFSET_MASK; }
+
+/** An invalid / "no node" marker. */
+constexpr NodeId INVALID_NODE = ~NodeId{0};
+
+/** An invalid page number marker. */
+constexpr PageNum INVALID_PAGE = ~PageNum{0};
+
+/**
+ * Convert a frequency in Hz to a clock period in ticks, rounding to the
+ * nearest picosecond.
+ */
+constexpr Tick
+freqToPeriod(std::uint64_t freq_hz)
+{
+    return (ONE_SEC + freq_hz / 2) / freq_hz;
+}
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_TYPES_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * AddressSpace: a process's virtual address space -- a page table plus
+ * a simple region allocator for user memory.
+ */
+
+#ifndef SHRIMP_VM_ADDRESS_SPACE_HH
+#define SHRIMP_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+namespace shrimp
+{
+
+/**
+ * One process's address space. User regions are carved monotonically
+ * from a bump allocator starting at userBase; backing frames come from
+ * the node's FrameAllocator.
+ */
+class AddressSpace
+{
+  public:
+    /** Start of the user heap region. */
+    static constexpr Addr userBase = 0x1000'0000;
+
+    explicit AddressSpace(FrameAllocator &frames) : _frames(frames) {}
+
+    ~AddressSpace()
+    {
+        // Return DRAM frames this space allocated. Pins must have been
+        // released by the kernel (unmap) first.
+        for (const auto &[vpage, pte] : _pageTable.entries()) {
+            (void)vpage;
+            if (_ownedFrames.count(pte.frame))
+                _frames.free(pte.frame);
+        }
+    }
+
+    PageTable &pageTable() { return _pageTable; }
+    const PageTable &pageTable() const { return _pageTable; }
+
+    /**
+     * Allocate @p npages of zeroed user memory.
+     *
+     * @return base virtual address of the region.
+     */
+    Addr
+    allocate(std::size_t npages,
+             CachePolicy policy = CachePolicy::WRITE_BACK,
+             bool writable = true)
+    {
+        Addr base = _nextVaddr;
+        for (std::size_t i = 0; i < npages; ++i) {
+            auto frame = _frames.alloc();
+            SHRIMP_ASSERT(frame.has_value(), "node out of DRAM frames");
+            _ownedFrames.insert(*frame);
+            _pageTable.map(pageOf(base) + i,
+                           Pte{*frame, writable, true, policy});
+        }
+        _nextVaddr += npages * PAGE_SIZE;
+        return base;
+    }
+
+    /**
+     * Map a region of non-DRAM physical space (e.g. NIC command pages)
+     * into this address space. Frames are not owned.
+     */
+    Addr
+    mapPhysical(PageNum first_frame, std::size_t npages,
+                CachePolicy policy, bool writable)
+    {
+        Addr base = _nextVaddr;
+        for (std::size_t i = 0; i < npages; ++i) {
+            _pageTable.map(pageOf(base) + i,
+                           Pte{first_frame + i, writable, true, policy});
+        }
+        _nextVaddr += npages * PAGE_SIZE;
+        return base;
+    }
+
+    /**
+     * Map a scatter list of physical pages (e.g. the command pages of
+     * non-contiguous frames) at consecutive virtual pages.
+     */
+    Addr
+    mapPhysicalScatter(const std::vector<PageNum> &frames,
+                       CachePolicy policy, bool writable)
+    {
+        Addr base = _nextVaddr;
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            _pageTable.map(pageOf(base) + i,
+                           Pte{frames[i], writable, true, policy});
+        }
+        _nextVaddr += frames.size() * PAGE_SIZE;
+        return base;
+    }
+
+    /**
+     * Stop tracking ownership of @p frame (the kernel is paging it
+     * out and will free or reassign it).
+     */
+    void forgetFrame(PageNum frame) { _ownedFrames.erase(frame); }
+
+    /** Begin tracking ownership of @p frame (page-in). */
+    void adoptFrame(PageNum frame) { _ownedFrames.insert(frame); }
+
+    /** Translate; convenience forwarding. */
+    Translation
+    translate(Addr vaddr, bool write) const
+    {
+        return _pageTable.translate(vaddr, write);
+    }
+
+    /** Whether this space owns (allocated) the given DRAM frame. */
+    bool
+    ownsFrame(PageNum frame) const
+    {
+        return _ownedFrames.count(frame) != 0;
+    }
+
+  private:
+    FrameAllocator &_frames;
+    PageTable _pageTable;
+    Addr _nextVaddr = userBase;
+    std::unordered_set<PageNum> _ownedFrames;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_VM_ADDRESS_SPACE_HH

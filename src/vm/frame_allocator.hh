@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Physical page frame allocator with pin counts. Pinning is the
+ * paper's simple NIPT-consistency policy: a frame with incoming
+ * communication mappings is pinned so remote NIPT entries never dangle
+ * (Section 4.4).
+ */
+
+#ifndef SHRIMP_VM_FRAME_ALLOCATOR_HH
+#define SHRIMP_VM_FRAME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** Allocates DRAM page frames for one node. */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param first_frame first allocatable frame (frames below it are
+     *        reserved for the kernel)
+     * @param num_frames total DRAM frames on the node
+     */
+    FrameAllocator(PageNum first_frame, PageNum num_frames)
+        : _firstFrame(first_frame), _numFrames(num_frames)
+    {
+        SHRIMP_ASSERT(first_frame <= num_frames, "bad frame range");
+        _pinCount.resize(num_frames, 0);
+        _allocated.resize(num_frames, false);
+        for (PageNum f = num_frames; f-- > first_frame;)
+            _freeList.push_back(f);
+    }
+
+    /** Allocate one frame, or nullopt if DRAM is exhausted. */
+    std::optional<PageNum>
+    alloc()
+    {
+        if (_freeList.empty())
+            return std::nullopt;
+        PageNum f = _freeList.back();
+        _freeList.pop_back();
+        _allocated[f] = true;
+        return f;
+    }
+
+    /** Release a frame. Must be unpinned. */
+    void
+    free(PageNum frame)
+    {
+        SHRIMP_ASSERT(frame < _numFrames && _allocated[frame],
+                      "free of unallocated frame ", frame);
+        SHRIMP_ASSERT(_pinCount[frame] == 0,
+                      "free of pinned frame ", frame);
+        _allocated[frame] = false;
+        _freeList.push_back(frame);
+    }
+
+    /** Pin a frame (one count per incoming mapping). */
+    void
+    pin(PageNum frame)
+    {
+        SHRIMP_ASSERT(frame < _numFrames && _allocated[frame],
+                      "pin of unallocated frame ", frame);
+        ++_pinCount[frame];
+    }
+
+    /** Drop one pin count. */
+    void
+    unpin(PageNum frame)
+    {
+        SHRIMP_ASSERT(frame < _numFrames && _pinCount[frame] > 0,
+                      "unpin of unpinned frame ", frame);
+        --_pinCount[frame];
+    }
+
+    bool isPinned(PageNum frame) const { return _pinCount[frame] > 0; }
+    bool isAllocated(PageNum frame) const { return _allocated[frame]; }
+    std::size_t freeFrames() const { return _freeList.size(); }
+    PageNum numFrames() const { return _numFrames; }
+
+  private:
+    PageNum _firstFrame;
+    PageNum _numFrames;
+    std::vector<PageNum> _freeList;
+    std::vector<std::uint32_t> _pinCount;
+    std::vector<bool> _allocated;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_VM_FRAME_ALLOCATOR_HH

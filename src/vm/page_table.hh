@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-process page tables: virtual page -> physical frame, protection
+ * bits, and the per-page cache policy the Xpress PC exposes (the map()
+ * call forces mapped-out pages to write-through).
+ *
+ * A "frame" here is a page number in the node's full physical address
+ * space, so a PTE can name either a DRAM frame or a page of network
+ * interface command space; the bus address decoder does the rest.
+ */
+
+#ifndef SHRIMP_VM_PAGE_TABLE_HH
+#define SHRIMP_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/cache_policy.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** Why a translation failed. */
+enum class FaultKind : std::uint8_t
+{
+    NONE,
+    NOT_PRESENT,    //!< no valid translation for the page
+    PROTECTION,     //!< write to a read-only page (NIPT invalidation
+                    //!< marks source pages read-only; see Section 4.4)
+};
+
+/** One page table entry. */
+struct Pte
+{
+    PageNum frame = INVALID_PAGE;
+    bool writable = false;
+    bool user = true;
+    CachePolicy policy = CachePolicy::WRITE_BACK;
+};
+
+/** Result of a translation attempt. */
+struct Translation
+{
+    FaultKind fault = FaultKind::NONE;
+    Addr paddr = 0;
+    CachePolicy policy = CachePolicy::WRITE_BACK;
+
+    bool ok() const { return fault == FaultKind::NONE; }
+};
+
+/**
+ * A sparse page table. The simulator does not model the x86 two-level
+ * radix structure; translation cost is charged by the CPU model as part
+ * of cache-hit latency, as on the real machine's TLB hit path.
+ */
+class PageTable
+{
+  public:
+    /** Install or replace the translation for @p vpage. */
+    void
+    map(PageNum vpage, const Pte &pte)
+    {
+        _entries[vpage] = pte;
+    }
+
+    /** Remove the translation for @p vpage (no-op if absent). */
+    void unmap(PageNum vpage) { _entries.erase(vpage); }
+
+    /** Look up the entry for @p vpage, or null. */
+    Pte *
+    find(PageNum vpage)
+    {
+        auto it = _entries.find(vpage);
+        return it == _entries.end() ? nullptr : &it->second;
+    }
+
+    const Pte *
+    find(PageNum vpage) const
+    {
+        auto it = _entries.find(vpage);
+        return it == _entries.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Translate a virtual address for a read (@p write false) or write
+     * (@p write true) access.
+     */
+    Translation
+    translate(Addr vaddr, bool write) const
+    {
+        const Pte *pte = find(pageOf(vaddr));
+        if (!pte)
+            return Translation{FaultKind::NOT_PRESENT, 0,
+                               CachePolicy::WRITE_BACK};
+        if (write && !pte->writable)
+            return Translation{FaultKind::PROTECTION, 0, pte->policy};
+        return Translation{FaultKind::NONE,
+                           pageBase(pte->frame) + pageOffset(vaddr),
+                           pte->policy};
+    }
+
+    /** Change the cache policy of an existing mapping. */
+    bool
+    setPolicy(PageNum vpage, CachePolicy policy)
+    {
+        Pte *pte = find(vpage);
+        if (!pte)
+            return false;
+        pte->policy = policy;
+        return true;
+    }
+
+    /** Change writability of an existing mapping. */
+    bool
+    setWritable(PageNum vpage, bool writable)
+    {
+        Pte *pte = find(vpage);
+        if (!pte)
+            return false;
+        pte->writable = writable;
+        return true;
+    }
+
+    std::size_t size() const { return _entries.size(); }
+
+    const std::unordered_map<PageNum, Pte> &entries() const
+    {
+        return _entries;
+    }
+
+  private:
+    std::unordered_map<PageNum, Pte> _entries;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_VM_PAGE_TABLE_HH

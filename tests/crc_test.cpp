@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for CRC-16 and the packet format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/crc.hh"
+#include "net/packet.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+TEST(Crc16, KnownVector)
+{
+    // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+    EXPECT_EQ(crc16("123456789", 9), 0x29B1);
+}
+
+TEST(Crc16, EmptyIsInit)
+{
+    Crc16 c;
+    EXPECT_EQ(c.value(), 0xFFFF);
+}
+
+TEST(Crc16, IncrementalMatchesOneShot)
+{
+    Crc16 c;
+    c.update("1234", 4);
+    c.update("56789", 5);
+    EXPECT_EQ(c.value(), crc16("123456789", 9));
+}
+
+TEST(Crc16, DetectsSingleBitError)
+{
+    std::uint8_t data[16] = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::uint16_t good = crc16(data, sizeof(data));
+    data[3] ^= 0x10;
+    EXPECT_NE(crc16(data, sizeof(data)), good);
+}
+
+TEST(NetPacket, SealAndVerify)
+{
+    NetPacket pkt;
+    pkt.srcNode = 1;
+    pkt.dstNode = 2;
+    pkt.dstX = 0;
+    pkt.dstY = 1;
+    pkt.dstPaddr = 0x1234;
+    pkt.payload = {0xde, 0xad, 0xbe, 0xef};
+    pkt.sealCrc();
+    EXPECT_TRUE(pkt.crcOk());
+
+    pkt.payload[2] ^= 1;
+    EXPECT_FALSE(pkt.crcOk());
+    pkt.payload[2] ^= 1;
+    EXPECT_TRUE(pkt.crcOk());
+
+    // Header fields are covered too.
+    pkt.dstPaddr ^= 0x8000;
+    EXPECT_FALSE(pkt.crcOk());
+}
+
+TEST(NetPacket, WireSizeIncludesOverhead)
+{
+    NetPacket pkt;
+    pkt.payload.resize(100);
+    EXPECT_EQ(pkt.wireBytes(),
+              100 + NetPacket::headerBytes + NetPacket::crcBytes);
+}
+
+} // namespace
+} // namespace shrimp

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, priorities,
+ * cancellation, time-bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleFn([&] { order.push_back(3); }, 300);
+    eq.scheduleFn([&] { order.push_back(1); }, 100);
+    eq.scheduleFn([&] { order.push_back(2); }, 200);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.scheduleFn([&order, i] { order.push_back(i); }, 50);
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityOrdersWithinTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleFn([&] { order.push_back(2); }, 50, EventPriority::CPU);
+    eq.scheduleFn([&] { order.push_back(1); }, 50, EventPriority::CLOCK);
+    eq.scheduleFn([&] { order.push_back(3); }, 50, EventPriority::STAT);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventFunctionWrapper ev([&] { fired = true; }, "test");
+    eq.schedule(&ev, 100);
+    EXPECT_TRUE(ev.scheduled());
+    eq.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    EventFunctionWrapper ev([&] { fired_at = eq.curTick(); }, "test");
+    eq.schedule(&ev, 100);
+    eq.reschedule(&ev, 500);
+    eq.run();
+    EXPECT_EQ(fired_at, 500u);
+    EXPECT_EQ(eq.numProcessed(), 1u);
+}
+
+TEST(EventQueue, EventCanRescheduleItself)
+{
+    EventQueue eq;
+    int count = 0;
+    EventFunctionWrapper ev(
+        [&] {
+            if (++count < 5)
+                eq.schedule(&ev, eq.curTick() + 10);
+        },
+        "self");
+    eq.schedule(&ev, 10);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.curTick(), 50u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleFn([&] { ++count; }, 100);
+    eq.scheduleFn([&] { ++count; }, 200);
+    eq.scheduleFn([&] { ++count; }, 300);
+    eq.runUntil(200);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.curTick(), 200u);
+    eq.runUntil(1000);
+    EXPECT_EQ(count, 3);
+    // Clock advances to the requested time even with no events there.
+    EXPECT_EQ(eq.curTick(), 1000u);
+}
+
+TEST(EventQueue, RunRespectsEventCap)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev(
+        [&] { eq.schedule(&ev, eq.curTick() + 1); }, "forever");
+    eq.schedule(&ev, 1);
+    std::uint64_t n = eq.run(1000);
+    EXPECT_EQ(n, 1000u);
+    EXPECT_FALSE(eq.empty());
+    eq.deschedule(&ev);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.scheduleFn([] {}, 100);
+    eq.run();
+    EventFunctionWrapper ev([] {}, "late");
+    EXPECT_THROW(eq.schedule(&ev, 50), std::logic_error);
+}
+
+TEST(EventQueue, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "dup");
+    eq.schedule(&ev, 100);
+    EXPECT_THROW(eq.schedule(&ev, 200), std::logic_error);
+    eq.deschedule(&ev);
+}
+
+TEST(ClockedObject, EdgeAlignment)
+{
+    EventQueue eq;
+    // 100 MHz -> 10 ns period.
+    ClockedObject obj(eq, "clk", 100'000'000);
+    EXPECT_EQ(obj.clockPeriod(), 10 * ONE_NS);
+    EXPECT_EQ(obj.clockEdge(), 0u);         // aligned at t=0
+    eq.scheduleFn([] {}, 3 * ONE_NS);
+    eq.run();
+    EXPECT_EQ(obj.clockEdge(), 10 * ONE_NS);
+    EXPECT_EQ(obj.clockEdge(2), 30 * ONE_NS);
+    EXPECT_EQ(obj.cyclesToTicks(7), 70 * ONE_NS);
+}
+
+TEST(Types, FreqToPeriodRounds)
+{
+    EXPECT_EQ(freqToPeriod(1'000'000'000), 1000u);  // 1 GHz = 1 ns
+    EXPECT_EQ(freqToPeriod(60'000'000), 16667u);    // 60 MHz
+    EXPECT_EQ(freqToPeriod(33'333'333), 30000u);    // Xpress bus
+}
+
+TEST(Types, PageHelpers)
+{
+    EXPECT_EQ(PAGE_SIZE, 4096u);
+    EXPECT_EQ(pageOf(0x5123), 5u);
+    EXPECT_EQ(pageBase(5), 0x5000u);
+    EXPECT_EQ(pageOffset(0x5123), 0x123u);
+}
+
+} // namespace
+} // namespace shrimp

