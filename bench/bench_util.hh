@@ -27,6 +27,17 @@ load(Kernel &kernel, Process &proc, Program &&prog)
                         std::make_shared<Program>(std::move(prog)));
 }
 
+/** Host read of a 32-bit word in a process's virtual memory. */
+inline std::uint32_t
+peek32(ShrimpSystem &sys, NodeId node, Process &proc, Addr vaddr)
+{
+    Translation t = proc.space().translate(vaddr, false);
+    if (!t.ok())
+        return 0xdead'dead;
+    return static_cast<std::uint32_t>(
+        sys.node(node).mem.readInt(t.paddr, 4));
+}
+
 /**
  * H1/H2: single-write automatic-update latency (store to remote
  * memory) between node 0 and a node @p hops away on a 4x4 mesh.

@@ -13,6 +13,7 @@
 #include "cpu/cpu.hh"
 #include "mem/cache.hh"
 #include "mem/eisa_bus.hh"
+#include "net/fault_model.hh"
 #include "net/router.hh"
 #include "nic/shrimp_ni.hh"
 #include "os/kernel.hh"
@@ -38,6 +39,14 @@ struct SystemConfig
     Router::Params router{};
     ShrimpNi::Params ni{};
     Kernel::Costs kernel{};
+
+    /**
+     * Fault injection applied to every inter-router link at boot
+     * (drop/corrupt/duplicate/reorder/outages; deterministic per
+     * seed). Defaults to a clean mesh. Pair with ni.reliability to
+     * keep mapped pages coherent over the resulting lossy fabric.
+     */
+    FaultModel::Params linkFaults{};
 
     /**
      * Use the next-generation datapath: incoming packets bypass the

@@ -10,6 +10,8 @@ ShrimpSystem::ShrimpSystem(const SystemConfig &cfg) : _cfg(cfg)
 {
     _backplane = std::make_unique<MeshBackplane>(
         _eq, "mesh", cfg.meshWidth, cfg.meshHeight, cfg.router);
+    if (cfg.linkFaults.any())
+        _backplane->setLinkFaults(cfg.linkFaults);
 
     for (NodeId id = 0; id < cfg.numNodes(); ++id)
         _nodes.push_back(std::make_unique<Node>(_eq, id, cfg,

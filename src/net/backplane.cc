@@ -42,4 +42,24 @@ MeshBackplane::MeshBackplane(EventQueue &eq, std::string name,
     }
 }
 
+void
+MeshBackplane::setLinkFaults(const FaultModel::Params &faults)
+{
+    // Attach to every wired output port; edge routers simply have
+    // fewer links.
+    for (unsigned y = 0; y < _height; ++y) {
+        for (unsigned x = 0; x < _width; ++x) {
+            Router &r = *_routers[nodeAt(x, y)];
+            if (x + 1 < _width)
+                r.setFaultModel(Router::EAST, faults);
+            if (x > 0)
+                r.setFaultModel(Router::WEST, faults);
+            if (y + 1 < _height)
+                r.setFaultModel(Router::SOUTH, faults);
+            if (y > 0)
+                r.setFaultModel(Router::NORTH, faults);
+        }
+    }
+}
+
 } // namespace shrimp

@@ -50,6 +50,13 @@ class MeshBackplane : public SimObject
     Router &router(NodeId node) { return *_routers.at(node); }
     const Router::Params &routerParams() const { return _params; }
 
+    /**
+     * Attach @p faults to every inter-router link in the mesh (each
+     * link gets its own seed-salted FaultModel instance, so faults on
+     * different links are independent but the run stays deterministic).
+     */
+    void setLinkFaults(const FaultModel::Params &faults);
+
   private:
     unsigned _width;
     unsigned _height;

@@ -6,6 +6,12 @@
  * absolute mesh coordinates of the intended receiver, a destination
  * memory address, data, and a CRC checksum. The receiver verifies the
  * coordinates and the CRC to detect misrouting and corruption.
+ *
+ * Beyond the paper: when the NI's reliability layer is enabled, the
+ * header grows by an 8-byte extension carrying a packet kind
+ * (DATA/ACK/NACK) and a per source->destination sequence number, and
+ * the CRC covers both. Legacy (reliability-off) packets keep the exact
+ * paper wire format so baseline timing is unchanged.
  */
 
 #ifndef SHRIMP_NET_PACKET_HH
@@ -27,6 +33,16 @@ struct NetPacket
     static constexpr Addr headerBytes = 16;
     /** Wire overhead of the trailing checksum. */
     static constexpr Addr crcBytes = 2;
+    /** Reliability header extension: kind + sequence number. */
+    static constexpr Addr relHeaderBytes = 8;
+
+    /** What the packet carries (reliability layer). */
+    enum class Kind : std::uint8_t
+    {
+        DATA = 0,   //!< payload destined for mapped memory
+        ACK,        //!< cumulative acknowledgement (rseq = next expected)
+        NACK,       //!< fast-retransmit request (rseq = missing seq)
+    };
 
     NodeId srcNode = INVALID_NODE;
     NodeId dstNode = INVALID_NODE;
@@ -36,6 +52,13 @@ struct NetPacket
     std::vector<std::uint8_t> payload;
     std::uint16_t crc = 0;
 
+    // ---- reliability header extension (on the wire iff reliable) ----
+    bool reliable = false;      //!< carries the extension
+    Kind kind = Kind::DATA;
+    /** DATA: per src->dst sequence number. ACK: next expected seq
+     *  (everything below it is acknowledged). NACK: the missing seq. */
+    std::uint64_t rseq = 0;
+
     // ---- simulation bookkeeping (not on the wire) ----
     Tick injectedAt = 0;        //!< when the source NIC injected it
     std::uint64_t seq = 0;      //!< per-source sequence, for order checks
@@ -44,7 +67,8 @@ struct NetPacket
     Addr
     wireBytes() const
     {
-        return headerBytes + payload.size() + crcBytes;
+        return headerBytes + (reliable ? relHeaderBytes : 0) +
+               payload.size() + crcBytes;
     }
 
     /** Compute the CRC over header fields and payload. */
@@ -56,6 +80,10 @@ struct NetPacket
         c.updateInt(dstX, 2);
         c.updateInt(dstY, 2);
         c.updateInt(dstPaddr, 8);
+        if (reliable) {
+            c.updateInt(static_cast<std::uint64_t>(kind), 1);
+            c.updateInt(rseq, 8);
+        }
         if (!payload.empty())
             c.update(payload.data(), payload.size());
         return c.value();

@@ -19,6 +19,37 @@ Router::Router(EventQueue &eq, std::string name, unsigned x, unsigned y,
     _stats.addStat(&_injected);
     _stats.addStat(&_blockedOnCredit);
     _stats.addStat(&_blockedOnSink);
+    _stats.addStat(&_faultDrops);
+    _stats.addStat(&_faultCorrupts);
+    _stats.addStat(&_faultDuplicates);
+    _stats.addStat(&_faultReorders);
+    _stats.addStat(&_linkDownDrops);
+}
+
+void
+Router::setFaultModel(Port out, const FaultModel::Params &params)
+{
+    SHRIMP_ASSERT(out != LOCAL, "fault model on the ejection channel");
+    if (!params.any()) {
+        _faults[out].reset();
+        return;
+    }
+    // Salt the seed per link so parallel links misbehave independently.
+    std::uint64_t salt =
+        (static_cast<std::uint64_t>(_y) << 20) |
+        (static_cast<std::uint64_t>(_x) << 4) |
+        static_cast<std::uint64_t>(out);
+    _faults[out] = std::make_unique<FaultModel>(params, salt);
+}
+
+void
+Router::setErrorInjection(double per_packet_prob, std::uint64_t seed)
+{
+    FaultModel::Params params;
+    params.corruptProb = per_packet_prob;
+    params.seed = seed;
+    for (unsigned p = LOCAL + 1; p < NUM_PORTS; ++p)
+        setFaultModel(static_cast<Port>(p), params);
 }
 
 void
@@ -163,6 +194,27 @@ Router::advance()
             continue;
         }
 
+        // The link fault model rules on this transmission. Decided
+        // only here -- after the credit check -- so a blocked forward
+        // retried later never re-rolls the dice for the same packet.
+        FaultModel *fm = _faults[out].get();
+        FaultModel::Action act =
+            fm ? fm->decide(now) : FaultModel::Action::PASS;
+
+        if (act == FaultModel::Action::DROP ||
+            act == FaultModel::Action::LINK_DOWN) {
+            // The wire was occupied, but nothing arrives downstream.
+            ++(act == FaultModel::Action::DROP ? _faultDrops
+                                               : _linkDownDrops);
+            _outBusyUntil[out] = now + ser;
+            in.queue.pop_front();
+            eventQueue().scheduleFn(
+                [this, p]() { releaseCredit(static_cast<Port>(p)); },
+                now + ser, EventPriority::DEFAULT, "tail departure");
+            scheduleAdvance(now + ser);
+            continue;
+        }
+
         // Forward: reserve the downstream slot now, occupy our output
         // link for the serialization time, and hand the header to the
         // neighbour after wire latency. Cut-through: the downstream
@@ -177,18 +229,49 @@ Router::advance()
         NetPacket pkt = std::move(head.pkt);
         in.queue.pop_front();
 
-        // Fault injection on the outgoing wire (tests/ablations).
-        if (_errorProb > 0.0 && _errorRng.chance(_errorProb) &&
-            !pkt.payload.empty()) {
-            std::size_t byte = _errorRng.below(pkt.payload.size());
-            pkt.payload[byte] ^=
-                static_cast<std::uint8_t>(1u << _errorRng.below(8));
-            ++_errorsInjected;
+        if (act == FaultModel::Action::CORRUPT) {
+            fm->corrupt(pkt);
+            ++_faultCorrupts;
         }
 
         Tick header_at = now + _params.linkLatency;
-        nbr->headerArrive(nbr_in, std::move(pkt),
-                          header_at + _params.routingLatency);
+        Tick decoded_at = header_at + _params.routingLatency;
+
+        if (act == FaultModel::Action::REORDER) {
+            // Hold the packet past its successors: its header enters
+            // the downstream input queue only after reorderDelay, so
+            // packets forwarded meanwhile are queued -- and routed --
+            // ahead of it. The downstream credit is already reserved,
+            // keeping buffer accounting exact.
+            ++_faultReorders;
+            Tick delay = fm->params().reorderDelay;
+            eventQueue().scheduleFn(
+                [nbr, nbr_in, decoded_at, delay,
+                 pkt = std::move(pkt)]() mutable {
+                    nbr->headerArrive(nbr_in, std::move(pkt),
+                                      decoded_at + delay);
+                },
+                now + delay, EventPriority::DEFAULT, "reorder release");
+        } else {
+            if (act == FaultModel::Action::DUPLICATE) {
+                // A ghost copy follows the original one serialization
+                // time later, if the downstream buffer can take it.
+                ++_faultDuplicates;
+                NetPacket copy = pkt;
+                eventQueue().scheduleFn(
+                    [this, nbr, nbr_in,
+                     copy = std::move(copy)]() mutable {
+                        if (!nbr->hasCredit(nbr_in))
+                            return;     // duplicate conveniently lost
+                        nbr->reserveCredit(nbr_in);
+                        nbr->headerArrive(nbr_in, std::move(copy),
+                                          curTick() +
+                                              _params.routingLatency);
+                    },
+                    now + ser, EventPriority::DEFAULT, "duplicate");
+            }
+            nbr->headerArrive(nbr_in, std::move(pkt), decoded_at);
+        }
 
         // Our input buffer slot is held until the tail leaves.
         eventQueue().scheduleFn(

@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "net/fault_model.hh"
 #include "net/packet.hh"
-#include "sim/random.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -111,20 +112,35 @@ class Router : public SimObject
     void sinkReadyAgain() { scheduleAdvance(curTick()); }
 
     /**
-     * Fault injection: flip one payload bit in each forwarded packet
-     * with probability @p per_packet_prob (deterministic given
-     * @p seed). The receiving NI's CRC check must catch every one
-     * (Section 3.1); corrupted packets are dropped and counted, never
-     * delivered.
+     * Attach a fault model to the output link behind @p out (non-LOCAL
+     * ports only; the ejection channel into the NIC is fault-free).
+     * Passing a Params with no active fault class detaches the model.
      */
-    void
-    setErrorInjection(double per_packet_prob, std::uint64_t seed)
-    {
-        _errorProb = per_packet_prob;
-        _errorRng = Rng(seed);
-    }
+    void setFaultModel(Port out, const FaultModel::Params &params);
 
-    std::uint64_t errorsInjected() const { return _errorsInjected; }
+    /** Fault model of output link @p out, or nullptr. */
+    FaultModel *faultModel(Port out) { return _faults[out].get(); }
+
+    /**
+     * Compatibility shim over setFaultModel(): flip one payload bit in
+     * forwarded packets with probability @p per_packet_prob
+     * (deterministic given @p seed) on every output link. The
+     * receiving NI's CRC check must catch every one (Section 3.1);
+     * without the reliability layer, corrupted packets are dropped and
+     * counted, never delivered.
+     */
+    void setErrorInjection(double per_packet_prob, std::uint64_t seed);
+
+    /** Corrupted-packet count (the historical error-injection stat). */
+    std::uint64_t errorsInjected() const { return _faultCorrupts.value(); }
+
+    std::uint64_t faultDrops() const { return _faultDrops.value(); }
+    std::uint64_t linkDownDrops() const { return _linkDownDrops.value(); }
+    std::uint64_t faultDuplicates() const
+    {
+        return _faultDuplicates.value();
+    }
+    std::uint64_t faultReorders() const { return _faultReorders.value(); }
 
     // ---- used by the upstream router ----
     bool hasCredit(Port in) const;
@@ -179,9 +195,7 @@ class Router : public SimObject
     NetworkSink *_sink = nullptr;
     std::function<void()> _injectWaiter;
     EventFunctionWrapper _advanceEvent;
-    double _errorProb = 0.0;
-    Rng _errorRng{0};
-    std::uint64_t _errorsInjected = 0;
+    std::array<std::unique_ptr<FaultModel>, NUM_PORTS> _faults;
 
     stats::Group _stats;
     stats::Counter _forwarded{"forwarded", "packets forwarded"};
@@ -191,6 +205,16 @@ class Router : public SimObject
                                     "forward attempts blocked on credit"};
     stats::Counter _blockedOnSink{"blockedOnSink",
                                   "ejections blocked by a busy sink"};
+    stats::Counter _faultDrops{"faultDrops",
+                               "packets dropped by the link fault model"};
+    stats::Counter _faultCorrupts{"faultCorrupts",
+                                  "packets corrupted on the wire"};
+    stats::Counter _faultDuplicates{"faultDuplicates",
+                                    "packets duplicated on the wire"};
+    stats::Counter _faultReorders{"faultReorders",
+                                  "packets delayed past successors"};
+    stats::Counter _linkDownDrops{"linkDownDrops",
+                                  "packets lost to link outage windows"};
 };
 
 } // namespace shrimp

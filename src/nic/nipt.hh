@@ -48,6 +48,13 @@ struct OutMapping
      * destination page (non-page-aligned mappings).
      */
     std::int32_t dstOffsetDelta = 0;
+    /**
+     * Set by the NI's reliability layer when delivery to dstNode
+     * exhausted its retry budget: the mapping is errored, outgoing
+     * lookups stop matching, and command-page status reads report the
+     * failure (graceful degradation instead of silent loss).
+     */
+    bool error = false;
 
     bool valid() const { return mode != UpdateMode::NONE; }
 };
@@ -127,7 +134,7 @@ class Nipt
             if (e.splitOffset != 0)
                 end = e.splitOffset;
         }
-        if (!m->valid())
+        if (!m->valid() || m->error)
             return {};
 
         OutLookup result;

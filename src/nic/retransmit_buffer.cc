@@ -1,0 +1,220 @@
+#include "nic/retransmit_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+RetransmitBuffer::RetransmitBuffer(EventQueue &eq, std::string name,
+                                   const ReliabilityParams &params,
+                                   unsigned num_nodes, Hooks hooks,
+                                   stats::Group *parent_stats)
+    : SimObject(eq, std::move(name)),
+      _params(params),
+      _hooks(std::move(hooks)),
+      _tx(num_nodes),
+      _timerEvent([this] { timeout(); }, "retransmit timeout"),
+      _stats("retx", parent_stats)
+{
+    SHRIMP_ASSERT(params.windowPackets > 0, "empty retransmit window");
+    SHRIMP_ASSERT(params.rtoBase > 0, "zero retransmission timeout");
+    _stats.addStat(&_retxTimeout);
+    _stats.addStat(&_retxNack);
+    _stats.addStat(&_acksProcessed);
+    _stats.addStat(&_packetsAcked);
+    _stats.addStat(&_channelsFailed);
+    _stats.addStat(&_maxBackoffExp);
+}
+
+std::uint64_t
+RetransmitBuffer::assignSeq(NodeId dst)
+{
+    return _tx.at(dst).nextSeq++;
+}
+
+bool
+RetransmitBuffer::hasRoom(NodeId dst) const
+{
+    const TxState &st = _tx.at(dst);
+    return !st.failed && st.window.size() < _params.windowPackets;
+}
+
+bool
+RetransmitBuffer::isFailed(NodeId dst) const
+{
+    return _tx.at(dst).failed;
+}
+
+Tick
+RetransmitBuffer::rtoOf(const TxState &st) const
+{
+    // Exponential backoff, saturating at rtoMax.
+    Tick rto = _params.rtoBase;
+    for (unsigned i = 0; i < st.backoffExp && rto < _params.rtoMax; ++i)
+        rto *= 2;
+    return rto < _params.rtoMax ? rto : _params.rtoMax;
+}
+
+Tick
+RetransmitBuffer::currentRto(NodeId dst) const
+{
+    return rtoOf(_tx.at(dst));
+}
+
+std::size_t
+RetransmitBuffer::windowFill(NodeId dst) const
+{
+    return _tx.at(dst).window.size();
+}
+
+void
+RetransmitBuffer::record(const NetPacket &pkt)
+{
+    TxState &st = _tx.at(pkt.dstNode);
+    SHRIMP_ASSERT(!st.failed, "record toward a failed destination");
+    SHRIMP_ASSERT(st.window.size() < _params.windowPackets,
+                  "retransmit window overrun toward ", pkt.dstNode);
+    st.window.push_back(Unacked{pkt, 0});
+    if (st.deadline == 0) {
+        st.deadline = curTick() + rtoOf(st);
+        rearm();
+    }
+}
+
+void
+RetransmitBuffer::onAck(NodeId src, std::uint64_t next_expected)
+{
+    TxState &st = _tx.at(src);
+    if (st.failed)
+        return;
+    ++_acksProcessed;
+
+    bool progress = false;
+    while (!st.window.empty() &&
+           st.window.front().pkt.rseq < next_expected) {
+        st.window.pop_front();
+        ++_packetsAcked;
+        progress = true;
+    }
+    if (!progress)
+        return;
+
+    // Forward progress: the path works, restart backoff and the timer.
+    st.backoffExp = 0;
+    st.deadline = st.window.empty() ? 0 : curTick() + rtoOf(st);
+    rearm();
+    if (_hooks.windowSpace)
+        _hooks.windowSpace();
+}
+
+void
+RetransmitBuffer::onNack(NodeId src, std::uint64_t missing)
+{
+    TxState &st = _tx.at(src);
+    if (st.failed)
+        return;
+
+    // A NACK carries a cumulative ACK for everything below the
+    // missing sequence.
+    onAck(src, missing);
+
+    if (st.window.empty() || st.window.front().pkt.rseq != missing)
+        return;     // already retired, or not yet transmitted
+
+    // Suppress a burst of NACKs for the same gap: the receiver emits
+    // one per out-of-order arrival, one retransmission answers all.
+    Tick now = curTick();
+    if (st.lastNackSeq == missing &&
+        now - st.lastNackRetx < _params.rtoBase) {
+        return;
+    }
+    st.lastNackSeq = missing;
+    st.lastNackRetx = now;
+
+    Unacked &head = st.window.front();
+    ++head.retries;
+    if (head.retries > _params.maxRetries) {
+        failChannel(src, st);
+        return;
+    }
+    ++_retxNack;
+    SHRIMP_DTRACE("Retx", now, name(), "NACK fast retransmit seq ",
+                  missing, " -> node ", src);
+    if (_hooks.retransmit)
+        _hooks.retransmit(NetPacket{head.pkt});
+
+    // Restart the timer; fast retransmit is progress-neutral, so the
+    // current backoff level is kept.
+    st.deadline = now + rtoOf(st);
+    rearm();
+}
+
+void
+RetransmitBuffer::timeout()
+{
+    Tick now = curTick();
+    for (NodeId dst = 0; dst < _tx.size(); ++dst) {
+        TxState &st = _tx[dst];
+        if (st.failed || st.deadline == 0 || st.deadline > now)
+            continue;
+
+        SHRIMP_ASSERT(!st.window.empty(), "armed timer, empty window");
+        Unacked &head = st.window.front();
+        ++head.retries;
+        if (head.retries > _params.maxRetries) {
+            failChannel(dst, st);
+            continue;
+        }
+
+        // Go-back-one with cumulative ACKs: retransmitting the oldest
+        // unacked packet is enough to restart the pipeline; later
+        // losses surface as NACKs or further timeouts.
+        ++_retxTimeout;
+        ++st.backoffExp;
+        if (static_cast<double>(st.backoffExp) > _maxBackoffExp.value())
+            _maxBackoffExp = static_cast<double>(st.backoffExp);
+        SHRIMP_DTRACE("Retx", now, name(), "timeout retransmit seq ",
+                      head.pkt.rseq, " -> node ", dst, " try ",
+                      head.retries, " rto ", rtoOf(st));
+        if (_hooks.retransmit)
+            _hooks.retransmit(NetPacket{head.pkt});
+        st.deadline = now + rtoOf(st);
+    }
+    rearm();
+}
+
+void
+RetransmitBuffer::failChannel(NodeId dst, TxState &st)
+{
+    // Retry budget exhausted: degrade gracefully. Drop the window,
+    // refuse future traffic toward dst, and let the NI mark the
+    // affected mappings errored.
+    ++_channelsFailed;
+    st.failed = true;
+    st.window.clear();
+    st.deadline = 0;
+    SHRIMP_DTRACE("Retx", curTick(), name(), "destination ", dst,
+                  " declared unreachable after ", _params.maxRetries,
+                  " retries");
+    rearm();
+    if (_hooks.failed)
+        _hooks.failed(dst);
+}
+
+void
+RetransmitBuffer::rearm()
+{
+    Tick next = MAX_TICK;
+    for (const TxState &st : _tx) {
+        if (!st.failed && st.deadline != 0 && st.deadline < next)
+            next = st.deadline;
+    }
+    if (next == MAX_TICK) {
+        if (_timerEvent.scheduled())
+            deschedule(_timerEvent);
+        return;
+    }
+    reschedule(_timerEvent, next < curTick() ? curTick() : next);
+}
+
+} // namespace shrimp

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * RetransmitBuffer: the sender half of the NI's end-to-end reliability
+ * layer.
+ *
+ * The paper's SHRIMP backplane is assumed reliable; the NI's CRC only
+ * *detects* corruption. To keep mapped pages coherent over lossy links
+ * the NI can run a per-destination sliding-window protocol: every DATA
+ * packet carries a sequence number, a bounded window of unacknowledged
+ * copies is held here, and the receiver returns cumulative ACKs (and
+ * immediate NACKs on a CRC failure or sequence gap). This class owns
+ * the sender-side state machine:
+ *
+ *  - per-destination sequence assignment and a bounded window of
+ *    unacked packet copies (a full window backpressures injection, so
+ *    the outgoing FIFO -- and ultimately the CPU, via the threshold
+ *    interrupt -- stalls instead of losing data);
+ *  - a retransmission timer with exponential backoff (rto doubles per
+ *    consecutive timeout, capped at rtoMax, reset by forward progress);
+ *  - NACK fast retransmit, duplicate-NACK suppressed;
+ *  - a retry cap: when one packet exhausts maxRetries the destination
+ *    channel is declared failed, its window is discarded and the
+ *    failure hook fires so the NI can mark the affected mappings
+ *    errored (graceful degradation, never an assertion).
+ */
+
+#ifndef SHRIMP_NIC_RETRANSMIT_BUFFER_HH
+#define SHRIMP_NIC_RETRANSMIT_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace shrimp
+{
+
+/** Tunables of the NI reliability layer (sender and receiver side). */
+struct ReliabilityParams
+{
+    /** Master switch; off preserves the paper's exact wire format. */
+    bool enabled = false;
+
+    // ---- sender (RetransmitBuffer) ----
+    unsigned windowPackets = 32;    //!< max unacked packets per dest
+    Tick rtoBase = 50 * ONE_US;     //!< initial retransmission timeout
+    Tick rtoMax = 5 * ONE_MS;       //!< backoff ceiling
+    unsigned maxRetries = 8;        //!< per-packet cap before failure
+
+    // ---- receiver (ShrimpNi) ----
+    unsigned ackEvery = 4;          //!< cumulative-ACK coalescing count
+    Tick ackDelay = 5 * ONE_US;     //!< delayed-ACK window
+    unsigned reorderBufferPackets = 16; //!< out-of-order hold per source
+};
+
+/** Sender-side window/retransmission engine, one per ShrimpNi. */
+class RetransmitBuffer : public SimObject
+{
+  public:
+    struct Hooks
+    {
+        /** Queue a copy of @p pkt for (re)injection into the mesh. */
+        std::function<void(NetPacket &&pkt)> retransmit;
+        /** Destination @p dst exhausted its retry budget. */
+        std::function<void(NodeId dst)> failed;
+        /** Window space freed (ACK progress); retry blocked senders. */
+        std::function<void()> windowSpace;
+    };
+
+    RetransmitBuffer(EventQueue &eq, std::string name,
+                     const ReliabilityParams &params, unsigned num_nodes,
+                     Hooks hooks, stats::Group *parent_stats);
+
+    /** Next DATA sequence number toward @p dst. */
+    std::uint64_t assignSeq(NodeId dst);
+
+    /** May another packet toward @p dst enter the network? */
+    bool hasRoom(NodeId dst) const;
+
+    /** Has @p dst been declared unreachable? */
+    bool isFailed(NodeId dst) const;
+
+    /**
+     * Record an injected DATA packet (a copy is held until its
+     * sequence number is cumulatively acknowledged) and arm the
+     * retransmission timer.
+     */
+    void record(const NetPacket &pkt);
+
+    /** Cumulative ACK from @p src: everything below @p next_expected
+     *  is delivered. */
+    void onAck(NodeId src, std::uint64_t next_expected);
+
+    /** NACK from @p src: it still waits for @p missing; everything
+     *  below is implicitly acknowledged; fast-retransmit the rest. */
+    void onNack(NodeId src, std::uint64_t missing);
+
+    /** Current (backed-off) retransmission timeout toward @p dst. */
+    Tick currentRto(NodeId dst) const;
+
+    /** Packets copies currently held for @p dst. */
+    std::size_t windowFill(NodeId dst) const;
+
+    std::uint64_t timeoutRetransmits() const
+    {
+        return _retxTimeout.value();
+    }
+    std::uint64_t nackRetransmits() const { return _retxNack.value(); }
+    std::uint64_t channelsFailed() const
+    {
+        return _channelsFailed.value();
+    }
+
+  private:
+    struct Unacked
+    {
+        NetPacket pkt;
+        unsigned retries = 0;
+    };
+
+    struct TxState
+    {
+        std::uint64_t nextSeq = 0;
+        std::deque<Unacked> window;
+        unsigned backoffExp = 0;
+        Tick deadline = 0;      //!< 0 = timer idle
+        Tick lastNackRetx = 0;
+        std::uint64_t lastNackSeq = ~std::uint64_t{0};
+        bool failed = false;
+    };
+
+    Tick rtoOf(const TxState &st) const;
+
+    /** (Re)schedule the timer event at the earliest live deadline. */
+    void rearm();
+
+    /** Timer fired: retransmit or fail every expired destination. */
+    void timeout();
+
+    void failChannel(NodeId dst, TxState &st);
+
+    ReliabilityParams _params;
+    Hooks _hooks;
+    std::vector<TxState> _tx;
+    EventFunctionWrapper _timerEvent;
+
+    stats::Group _stats;
+    stats::Counter _retxTimeout{"retxTimeout",
+                                "retransmissions driven by timeout"};
+    stats::Counter _retxNack{"retxNack",
+                             "fast retransmissions driven by NACK"};
+    stats::Counter _acksProcessed{"acksProcessed",
+                                  "cumulative ACKs applied"};
+    stats::Counter _packetsAcked{"packetsAcked",
+                                 "window entries retired by ACKs"};
+    stats::Counter _channelsFailed{"channelsFailed",
+                                   "destinations declared unreachable"};
+    stats::Scalar _maxBackoffExp{"maxBackoffExp",
+                                 "largest backoff exponent reached"};
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_NIC_RETRANSMIT_BUFFER_HH

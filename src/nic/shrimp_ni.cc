@@ -49,6 +49,7 @@ ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
       _injectEvent([this] { tryInject(); }, "ni inject"),
       _drainEvent([this] { drainIncoming(); }, "ni drain"),
       _mergeTimerEvent([this] { flushMergeBuffer(); }, "merge timeout"),
+      _ackEvent([this] { flushPendingAcks(); }, "delayed ack"),
       _stats(this->name())
 {
     SHRIMP_ASSERT(params.cmdBase >= mem.size(),
@@ -67,7 +68,31 @@ ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
     _stats.addStat(&_mergeFlushTimeout);
     _stats.addStat(&_ignoredStarts);
     _stats.addStat(&_arrivalInterrupts);
+    _stats.addStat(&_relAcksSent);
+    _stats.addStat(&_relAcksRcvd);
+    _stats.addStat(&_relNacksSent);
+    _stats.addStat(&_relNacksRcvd);
+    _stats.addStat(&_relDupsSuppressed);
+    _stats.addStat(&_relReorderFixes);
+    _stats.addStat(&_relOooDrops);
+    _stats.addStat(&_relMappingsErrored);
+    _stats.addStat(&_relDroppedFailed);
     _stats.addStat(&_deliveryLatency);
+
+    if (_params.reliability.enabled) {
+        _rx.resize(backplane.numNodes());
+        _retx = std::make_unique<RetransmitBuffer>(
+            eq, this->name() + ".retx", _params.reliability,
+            backplane.numNodes(),
+            RetransmitBuffer::Hooks{
+                [this](NetPacket &&pkt) { queueControl(std::move(pkt)); },
+                [this](NodeId dst) { handleChannelFailure(dst); },
+                [this] {
+                    if (!_injectEvent.scheduled())
+                        reschedule(_injectEvent, curTick());
+                }},
+            &_stats);
+    }
 
     // Wire ourselves into the node and the mesh.
     bus.addSnooper(this);
@@ -215,17 +240,20 @@ ShrimpNi::emitPacket(NodeId dst, Addr dst_addr,
     pkt.dstY = static_cast<std::uint16_t>(_backplane.yOf(dst));
     pkt.dstPaddr = dst_addr;
     pkt.payload = std::move(payload);
+    if (_params.reliability.enabled) {
+        if (_retx->isFailed(dst)) {
+            // Graceful degradation: the channel is dead and the
+            // mappings are errored; late traffic is discarded.
+            ++_relDroppedFailed;
+            return;
+        }
+        pkt.reliable = true;
+        pkt.kind = NetPacket::Kind::DATA;
+        pkt.rseq = _retx->assignSeq(dst);
+    }
     pkt.sealCrc();
     pkt.injectedAt = curTick();
     pkt.seq = _nextSeq++;
-
-    if (_corruptNext) {
-        _corruptNext = false;
-        if (!pkt.payload.empty())
-            pkt.payload[0] ^= 0x01;     // CRC now mismatches
-        else
-            pkt.crc ^= 0x0001;
-    }
 
     SHRIMP_DTRACE("Nic", curTick(), name(),
                   "packet -> node ", dst, " paddr ", dst_addr,
@@ -242,6 +270,28 @@ ShrimpNi::tryInject()
 {
     Tick now = curTick();
 
+    // Control traffic (ACK/NACK/retransmissions) jumps the outgoing
+    // FIFO: ACKs unblock the remote sender's window and
+    // retransmissions close delivery gaps; both are latency-critical.
+    if (!_ctrl.empty()) {
+        if (_nextInjectOk > now) {
+            reschedule(_injectEvent, _nextInjectOk);
+            return;
+        }
+        if (!_router.injectReady())
+            return;     // inject waiter will kick us
+
+        NetPacket pkt = std::move(_ctrl.front());
+        _ctrl.pop_front();
+        Tick ser = _router.serializationTime(pkt);
+        _nextInjectOk = now + _params.injectOverhead + ser;
+        _router.inject(std::move(pkt));
+
+        if (!_ctrl.empty() || !_outFifo.empty())
+            reschedule(_injectEvent, _nextInjectOk);
+        return;
+    }
+
     if (_outFifo.empty())
         return;
 
@@ -255,10 +305,37 @@ ShrimpNi::tryInject()
     if (!_router.injectReady())
         return;     // inject waiter will kick us
 
+    bool track = _params.reliability.enabled && head.pkt.reliable &&
+                 head.pkt.kind == NetPacket::Kind::DATA;
+    if (track) {
+        NodeId dst = head.pkt.dstNode;
+        if (_retx->isFailed(dst)) {
+            // The channel died while this packet sat in the FIFO.
+            _outFifo.pop();
+            ++_relDroppedFailed;
+            if (!_outFifo.empty())
+                reschedule(_injectEvent, now);
+            return;
+        }
+        if (!_retx->hasRoom(dst))
+            return;     // the windowSpace hook will kick us on ACK
+    }
+
     NetPacket pkt = _outFifo.pop();
     Tick ser = _router.serializationTime(pkt);
     _nextInjectOk = now + _params.injectOverhead + ser;
     ++_pktsSent;
+    if (track)
+        _retx->record(pkt);
+    if (_corruptNext) {
+        // Test hook: corrupt "on the wire", after the retransmit
+        // buffer has recorded its (clean) copy.
+        _corruptNext = false;
+        if (!pkt.payload.empty())
+            pkt.payload[0] ^= 0x01;     // CRC now mismatches
+        else
+            pkt.crc ^= 0x0001;
+    }
     _router.inject(std::move(pkt));
 
     if (!_outFifo.empty())
@@ -277,6 +354,11 @@ ShrimpNi::busRead(Addr paddr, unsigned size)
     Addr off = pageOffset(rel);
     if (off >= ctrlRegionOffset)
         return 0;
+    // A mapping errored by the reliability layer reports the failure
+    // to user level through its command page.
+    const NiptEntry &e = _nipt.entry(pageOf(rel));
+    if (e.outLow.error || e.outHigh.error)
+        return statusMapError;
     // Status of the DMA engine, relative to the corresponding source
     // physical address.
     return _dma.statusRead(rel);
@@ -342,20 +424,226 @@ void
 ShrimpNi::sinkDeliver(NetPacket &&pkt)
 {
     // Verify the absolute mesh coordinates and the CRC (Section 3.1).
-    if (pkt.dstX != _backplane.xOf(_node) ||
-        pkt.dstY != _backplane.yOf(_node) || !pkt.crcOk()) {
+    bool coords_ok = pkt.dstX == _backplane.xOf(_node) &&
+                     pkt.dstY == _backplane.yOf(_node);
+    if (!coords_ok || !pkt.crcOk()) {
         SHRIMP_DTRACE("Nic", curTick(), name(),
                       "DROP bad crc/coords from node ", pkt.srcNode,
                       " seq ", pkt.seq);
         ++_dropsCrc;
         if (onDropped)
             onDropped(pkt);
+        // Reliability: ask for the retransmission immediately instead
+        // of waiting out the sender's timeout. The corruption may have
+        // hit any field, but our fault model only touches payload/CRC
+        // bits, and a NACK toward a node that never sent is harmless
+        // (no window state matches).
+        if (_params.reliability.enabled && pkt.reliable && coords_ok &&
+            pkt.kind == NetPacket::Kind::DATA &&
+            pkt.srcNode < _rx.size()) {
+            sendNack(pkt.srcNode);
+        }
+        return;
+    }
+
+    // Reliability control plane: ACK/NACK packets feed the retransmit
+    // buffer and never touch the incoming FIFO or memory.
+    if (pkt.reliable && pkt.kind != NetPacket::Kind::DATA) {
+        if (!_params.reliability.enabled)
+            return;     // mixed configuration; nothing to update
+        if (pkt.kind == NetPacket::Kind::ACK) {
+            ++_relAcksRcvd;
+            _retx->onAck(pkt.srcNode, pkt.rseq);
+        } else {
+            ++_relNacksRcvd;
+            _retx->onNack(pkt.srcNode, pkt.rseq);
+        }
+        return;
+    }
+
+    if (_params.reliability.enabled && pkt.reliable) {
+        receiveReliableData(std::move(pkt));
         return;
     }
 
     _inFifo.push(std::move(pkt), curTick());
     if (!_draining && !_drainEvent.scheduled())
         reschedule(_drainEvent, curTick());
+}
+
+// ---------------------------------------------------------------------
+// Reliability layer: receiver sequencing + ACK/NACK generation
+// ---------------------------------------------------------------------
+
+void
+ShrimpNi::receiveReliableData(NetPacket &&pkt)
+{
+    NodeId src = pkt.srcNode;
+    SHRIMP_ASSERT(src < _rx.size(), "reliable packet from unknown node ",
+                  src);
+    RxState &rx = _rx[src];
+
+    if (pkt.rseq < rx.expected) {
+        // Already delivered: a duplicated link or a retransmission
+        // that crossed our ACK. Suppress, and re-ACK immediately in
+        // case the ACK was the casualty.
+        ++_relDupsSuppressed;
+        SHRIMP_DTRACE("Nic", curTick(), name(), "DUP seq ", pkt.rseq,
+                      " from node ", src, " (expected ", rx.expected,
+                      ")");
+        sendAckNow(src);
+        return;
+    }
+
+    if (pkt.rseq == rx.expected) {
+        acceptInOrder(std::move(pkt));
+        scheduleAck(src);
+        return;
+    }
+
+    // Sequence gap: hold the packet for in-order delivery and request
+    // the missing one.
+    SHRIMP_DTRACE("Nic", curTick(), name(), "GAP got ", pkt.rseq,
+                  " expected ", rx.expected, " from node ", src);
+    if (rx.ooo.size() < _params.reliability.reorderBufferPackets &&
+        rx.ooo.find(pkt.rseq) == rx.ooo.end()) {
+        rx.ooo.emplace(pkt.rseq, std::move(pkt));
+    } else {
+        ++_relOooDrops;     // retransmission will resupply it
+    }
+    sendNack(src);
+}
+
+void
+ShrimpNi::acceptInOrder(NetPacket &&pkt)
+{
+    NodeId src = pkt.srcNode;
+    RxState &rx = _rx[src];
+
+    _inFifo.push(std::move(pkt), curTick());
+    ++rx.expected;
+    ++rx.unacked;
+
+    // The gap closed: drain every now-consecutive held packet, FIFO
+    // space permitting (leftovers are resupplied by retransmission).
+    for (auto it = rx.ooo.find(rx.expected);
+         it != rx.ooo.end() && _inFifo.wouldFit(it->second.wireBytes());
+         it = rx.ooo.find(rx.expected)) {
+        ++_relReorderFixes;
+        _inFifo.push(std::move(it->second), curTick());
+        rx.ooo.erase(it);
+        ++rx.expected;
+        ++rx.unacked;
+    }
+
+    if (!_draining && !_drainEvent.scheduled())
+        reschedule(_drainEvent, curTick());
+}
+
+NetPacket
+ShrimpNi::makeControl(NetPacket::Kind kind, NodeId dst,
+                      std::uint64_t rseq)
+{
+    NetPacket pkt;
+    pkt.srcNode = _node;
+    pkt.dstNode = dst;
+    pkt.dstX = static_cast<std::uint16_t>(_backplane.xOf(dst));
+    pkt.dstY = static_cast<std::uint16_t>(_backplane.yOf(dst));
+    pkt.reliable = true;
+    pkt.kind = kind;
+    pkt.rseq = rseq;
+    pkt.sealCrc();
+    pkt.injectedAt = curTick();
+    pkt.seq = _nextSeq++;
+    return pkt;
+}
+
+void
+ShrimpNi::queueControl(NetPacket &&pkt)
+{
+    _ctrl.push_back(std::move(pkt));
+    if (!_injectEvent.scheduled())
+        reschedule(_injectEvent, curTick());
+}
+
+void
+ShrimpNi::scheduleAck(NodeId src)
+{
+    RxState &rx = _rx[src];
+    if (rx.unacked >= _params.reliability.ackEvery) {
+        sendAckNow(src);
+        return;
+    }
+    rx.ackPending = true;
+    if (!_ackEvent.scheduled())
+        schedule(_ackEvent, curTick() + _params.reliability.ackDelay);
+}
+
+void
+ShrimpNi::sendAckNow(NodeId src)
+{
+    RxState &rx = _rx[src];
+    rx.ackPending = false;
+    rx.unacked = 0;
+    ++_relAcksSent;
+    queueControl(makeControl(NetPacket::Kind::ACK, src, rx.expected));
+}
+
+void
+ShrimpNi::sendNack(NodeId src)
+{
+    RxState &rx = _rx[src];
+    Tick now = curTick();
+    // One NACK per gap per delayed-ACK window; every out-of-order
+    // arrival would otherwise emit one.
+    if (rx.lastNackSeq == rx.expected &&
+        now - rx.lastNackAt < _params.reliability.ackDelay) {
+        return;
+    }
+    rx.lastNackSeq = rx.expected;
+    rx.lastNackAt = now;
+    ++_relNacksSent;
+    queueControl(makeControl(NetPacket::Kind::NACK, src, rx.expected));
+}
+
+void
+ShrimpNi::flushPendingAcks()
+{
+    for (NodeId src = 0; src < _rx.size(); ++src) {
+        if (_rx[src].ackPending)
+            sendAckNow(src);
+    }
+}
+
+void
+ShrimpNi::handleChannelFailure(NodeId dst)
+{
+    // Mark every outgoing mapping half toward dst errored: outgoing
+    // lookups stop matching (stores fall silent instead of feeding a
+    // dead window) and command-page status reads report the failure.
+    unsigned halves = 0;
+    for (PageNum page = 0; page < _nipt.numPages(); ++page) {
+        NiptEntry &e = _nipt.entry(page);
+        if (e.outLow.valid() && !e.outLow.error &&
+            e.outLow.dstNode == dst) {
+            e.outLow.error = true;
+            ++halves;
+        }
+        if (e.outHigh.valid() && !e.outHigh.error &&
+            e.outHigh.dstNode == dst) {
+            e.outHigh.error = true;
+            ++halves;
+        }
+    }
+    _relMappingsErrored += halves;
+    SHRIMP_WARN("reliability: node ", _node, " -> ", dst,
+                " unreachable; ", halves, " mapping halves errored");
+    if (onMappingError)
+        onMappingError(dst, halves);
+    // Queued FIFO traffic toward dst is discarded lazily in
+    // tryInject(); make sure it gets the chance.
+    if (!_injectEvent.scheduled())
+        reschedule(_injectEvent, curTick());
 }
 
 void

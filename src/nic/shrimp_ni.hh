@@ -34,7 +34,10 @@
 #define SHRIMP_NIC_SHRIMP_NI_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "mem/bus_interfaces.hh"
@@ -45,6 +48,7 @@
 #include "nic/deliberate_dma.hh"
 #include "nic/nipt.hh"
 #include "nic/packet_fifo.hh"
+#include "nic/retransmit_buffer.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -62,6 +66,13 @@ class ShrimpNi : public SimObject,
     static constexpr Addr ctrlRegionOffset = PAGE_SIZE - 16;
     static constexpr Addr ctrlModeOffset = PAGE_SIZE - 16;
     static constexpr Addr ctrlIntrOffset = PAGE_SIZE - 8;
+
+    /**
+     * Command-page status read result for a page whose outgoing
+     * mapping was marked errored by the reliability layer (retry cap
+     * exhausted). Distinct from every dma_status encoding.
+     */
+    static constexpr std::uint64_t statusMapError = ~std::uint64_t{0};
 
     /** Values written to ctrlModeOffset. */
     enum class ModeCommand : std::uint64_t
@@ -92,6 +103,9 @@ class ShrimpNi : public SimObject,
         PacketFifo::Params inFifo{64 * 1024, 56 * 1024, 32 * 1024};
 
         DeliberateDma::Params dma{};
+
+        /** End-to-end reliable delivery (off = paper wire format). */
+        ReliabilityParams reliability{};
     };
 
     ShrimpNi(EventQueue &eq, std::string name, NodeId node,
@@ -140,6 +154,13 @@ class ShrimpNi : public SimObject,
     /** A packet's payload reached destination main memory. */
     std::function<void(const NetPacket &pkt, Tick when)> onDelivered;
 
+    /**
+     * The reliability layer exhausted its retry budget toward a
+     * destination: @p halves outgoing mapping halves were marked
+     * errored. The kernel records the failure for processes to see.
+     */
+    std::function<void(NodeId dst, unsigned halves)> onMappingError;
+
     // ---- BusSnooper: the outgoing automatic-update datapath ----
     void snoopWrite(Addr paddr, const void *buf, Addr len,
                     BusMaster master) override;
@@ -174,6 +195,28 @@ class ShrimpNi : public SimObject,
     {
         return _ignoredStarts.value();
     }
+
+    // ---- reliability layer accessors ----
+    bool reliabilityEnabled() const { return _params.reliability.enabled; }
+    RetransmitBuffer &retransmitBuffer() { return *_retx; }
+    std::uint64_t acksSent() const { return _relAcksSent.value(); }
+    std::uint64_t acksReceived() const { return _relAcksRcvd.value(); }
+    std::uint64_t nacksSent() const { return _relNacksSent.value(); }
+    std::uint64_t nacksReceived() const { return _relNacksRcvd.value(); }
+    std::uint64_t duplicatesSuppressed() const
+    {
+        return _relDupsSuppressed.value();
+    }
+    std::uint64_t reorderFixes() const { return _relReorderFixes.value(); }
+    std::uint64_t mappingsErrored() const
+    {
+        return _relMappingsErrored.value();
+    }
+    std::uint64_t droppedFailedChannel() const
+    {
+        return _relDroppedFailed.value();
+    }
+
     stats::Group &statGroup() { return _stats; }
 
     /** Inject one bit error into the next outgoing packet (tests). */
@@ -210,6 +253,35 @@ class ShrimpNi : public SimObject,
     /** Deliver one drained packet functionally + notify. */
     void commitArrival(NetPacket &&pkt);
 
+    // ---- reliability layer (active only when params.reliability
+    //      .enabled; see DESIGN.md "Reliability layer") ----
+
+    /** Sequence-check an arriving reliable DATA packet. */
+    void receiveReliableData(NetPacket &&pkt);
+
+    /** Accept an in-order packet and drain the reorder buffer. */
+    void acceptInOrder(NetPacket &&pkt);
+
+    /** Build an ACK/NACK control packet toward @p dst. */
+    NetPacket makeControl(NetPacket::Kind kind, NodeId dst,
+                          std::uint64_t rseq);
+
+    /** Enqueue a control/retransmission packet for injection. */
+    void queueControl(NetPacket &&pkt);
+
+    /** Coalesced cumulative-ACK scheduling for @p src. */
+    void scheduleAck(NodeId src);
+    void sendAckNow(NodeId src);
+
+    /** Rate-limited NACK for the current gap toward @p src. */
+    void sendNack(NodeId src);
+
+    /** Delayed-ACK timer: flush every pending cumulative ACK. */
+    void flushPendingAcks();
+
+    /** Retry-cap exhaustion: mark every mapping toward @p dst. */
+    void handleChannelFailure(NodeId dst);
+
     NodeId _node;
     Params _params;
     XpressBus &_bus;
@@ -224,6 +296,18 @@ class ShrimpNi : public SimObject,
     DeliberateDma _dma;
     MergeBuffer _merge;
 
+    /** Receiver-side reliability state, one per source node. */
+    struct RxState
+    {
+        std::uint64_t expected = 0;     //!< next in-order sequence
+        unsigned unacked = 0;           //!< accepted since last ACK
+        bool ackPending = false;
+        /** Out-of-order packets held until the gap closes. */
+        std::map<std::uint64_t, NetPacket> ooo;
+        Tick lastNackAt = 0;
+        std::uint64_t lastNackSeq = ~std::uint64_t{0};
+    };
+
     bool _accepting = true;     //!< incoming flow-control state
     bool _draining = false;     //!< a drain burst is in flight
     bool _outAboveThreshold = false;
@@ -232,9 +316,15 @@ class ShrimpNi : public SimObject,
     Tick _nextInjectOk = 0;
     std::uint64_t _nextSeq = 0;
 
+    /** ACK/NACK + retransmission queue; injected ahead of the FIFO. */
+    std::deque<NetPacket> _ctrl;
+    std::vector<RxState> _rx;
+    std::unique_ptr<RetransmitBuffer> _retx;
+
     EventFunctionWrapper _injectEvent;
     EventFunctionWrapper _drainEvent;
     EventFunctionWrapper _mergeTimerEvent;
+    EventFunctionWrapper _ackEvent;
 
     stats::Group _stats;
     stats::Counter _pktsSent{"pktsSent", "packets injected"};
@@ -255,6 +345,21 @@ class ShrimpNi : public SimObject,
                                   "command writes ignored (engine busy)"};
     stats::Counter _arrivalInterrupts{"arrivalInterrupts",
                                       "arrival interrupts raised"};
+    stats::Counter _relAcksSent{"relAcksSent",
+                                "cumulative ACK packets sent"};
+    stats::Counter _relAcksRcvd{"relAcksRcvd", "ACK packets received"};
+    stats::Counter _relNacksSent{"relNacksSent", "NACK packets sent"};
+    stats::Counter _relNacksRcvd{"relNacksRcvd", "NACK packets received"};
+    stats::Counter _relDupsSuppressed{
+        "relDupsSuppressed", "duplicate data packets suppressed"};
+    stats::Counter _relReorderFixes{
+        "relReorderFixes", "out-of-order packets restored to order"};
+    stats::Counter _relOooDrops{
+        "relOooDrops", "out-of-order packets dropped (buffer full)"};
+    stats::Counter _relMappingsErrored{
+        "relMappingsErrored", "mapping halves marked errored"};
+    stats::Counter _relDroppedFailed{
+        "relDroppedFailed", "packets dropped toward failed destinations"};
     stats::Distribution _deliveryLatency{
         "deliveryLatency", "injection-to-memory latency (ticks)"};
 };

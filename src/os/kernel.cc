@@ -40,6 +40,7 @@ Kernel::Kernel(EventQueue &eq, std::string name, NodeId node,
     _stats.addStat(&_fifoStallTicks);
     _stats.addStat(&_pageEvictions);
     _stats.addStat(&_pageIns);
+    _stats.addStat(&_mappingErrors);
 
     _cpu.setTrapHandler(this);
     _ni.onArrival = [this](PageNum page, Addr) {
@@ -48,6 +49,15 @@ Kernel::Kernel(EventQueue &eq, std::string name, NodeId node,
     };
     _ni.onOutFifoAboveThreshold = [this] { outFifoFull(); };
     _ni.onOutFifoDrained = [this] { outFifoDrained(); };
+    _ni.onMappingError = [this](NodeId dst, unsigned halves) {
+        // The NI's reliability layer gave up on dst: record it so
+        // user-visible state (mappingErrors / peerFailed) reflects the
+        // degradation instead of data silently vanishing.
+        _mappingErrors += halves;
+        _failedPeers.insert(dst);
+        SHRIMP_WARN(this->name(), ": peer ", dst, " unreachable, ",
+                    halves, " mapping halves errored");
+    };
 
     _mapManager = std::make_unique<MapManager>(*this);
     _nxService = std::make_unique<NxService>(*this);

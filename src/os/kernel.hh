@@ -33,6 +33,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -255,6 +256,18 @@ class Kernel : public SimObject, public TrapHandler
     std::uint64_t arrivalCount(PageNum frame) const;
 
     std::uint64_t contextSwitches() const { return _switches.value(); }
+
+    /** Mapping halves errored by the NI reliability layer (retry-cap
+     *  exhaustion toward an unreachable peer). */
+    std::uint64_t mappingErrors() const { return _mappingErrors.value(); }
+
+    /** Has the reliability layer declared @p peer unreachable? */
+    bool
+    peerFailed(NodeId peer) const
+    {
+        return _failedPeers.count(peer) != 0;
+    }
+
     std::uint64_t fifoStalls() const { return _fifoStalls.value(); }
     Tick fifoStallTicks() const
     {
@@ -342,6 +355,12 @@ class Kernel : public SimObject, public TrapHandler
                                    "ticks stalled on outgoing FIFO"};
     stats::Counter _pageEvictions{"pageEvictions", "pages evicted"};
     stats::Counter _pageIns{"pageIns", "pages brought back from swap"};
+    stats::Counter _mappingErrors{
+        "mappingErrors",
+        "mapping halves errored by the reliability layer"};
+
+    /** Peers declared unreachable by the NI reliability layer. */
+    std::set<NodeId> _failedPeers;
 };
 
 } // namespace shrimp

@@ -363,6 +363,31 @@ struct MapOp
     std::function<void(std::uint64_t)> done;
 };
 
+/**
+ * The per-page chains below are closures that own themselves through
+ * next_fn (they must outlive the start call's frame to serve RPC
+ * responses). When an op completes, that reference cycle must be
+ * broken or the op state leaks -- deferred one event, because the
+ * closure being cleared may still be on the call stack here.
+ */
+void
+breakChain(EventQueue &eq,
+           std::shared_ptr<std::function<void()>> next_fn)
+{
+    eq.scheduleFn([next_fn] { *next_fn = nullptr; }, eq.curTick(),
+                  EventPriority::DEFAULT, "map-op cleanup");
+}
+
+/** Break the op's chain cycle and report its result. */
+void
+finishOp(EventQueue &eq, const std::shared_ptr<MapOp> &op,
+         const std::shared_ptr<std::function<void()>> &next_fn,
+         std::uint64_t code)
+{
+    breakChain(eq, next_fn);
+    op->done(code);
+}
+
 } // namespace
 
 void
@@ -407,7 +432,7 @@ MapManager::startMap(Process &proc, const MapArgs &args,
     auto next_fn = std::make_shared<std::function<void()>>();
     *next_fn = [this, op, next_fn]() {
         if (op->page == op->args.npages) {
-            op->done(err::OK);
+            finishOp(_kernel.eventQueue(), op, next_fn, err::OK);
             return;
         }
         std::uint32_t i = static_cast<std::uint32_t>(op->page);
@@ -419,7 +444,7 @@ MapManager::startMap(Process &proc, const MapArgs &args,
                        op->args.mode, op->args.flags, 0, 0};
         rpc.onResponse = [this, op, next_fn, i](const std::uint32_t *r) {
             if (r[0] != err::OK) {
-                op->done(r[0]);
+                finishOp(_kernel.eventQueue(), op, next_fn, r[0]);
                 return;
             }
             addWork(_kernel.costs().mapInstallPerPage);
@@ -427,7 +452,7 @@ MapManager::startMap(Process &proc, const MapArgs &args,
             PageNum vpage = pageOf(op->args.localVaddr) + i;
             Pte *pte = op->proc->space().pageTable().find(vpage);
             if (!pte) {
-                op->done(err::INVAL);
+                finishOp(_kernel.eventQueue(), op, next_fn, err::INVAL);
                 return;
             }
             OutRecord rec;
@@ -463,7 +488,7 @@ MapManager::startUnmap(Process &proc, const MapArgs &args,
     auto next_fn = std::make_shared<std::function<void()>>();
     *next_fn = [this, op, next_fn]() {
         if (op->page == op->args.npages) {
-            op->done(err::OK);
+            finishOp(_kernel.eventQueue(), op, next_fn, err::OK);
             return;
         }
         std::uint32_t i = static_cast<std::uint32_t>(op->page);
@@ -485,7 +510,7 @@ MapManager::startUnmap(Process &proc, const MapArgs &args,
             }
         }
         if (!found) {
-            op->done(err::INVAL);
+            finishOp(_kernel.eventQueue(), op, next_fn, err::INVAL);
             return;
         }
         PageNum frame = frameOf(op->proc->pid(), vpage);
@@ -497,9 +522,9 @@ MapManager::startUnmap(Process &proc, const MapArgs &args,
         rpc.type = channel::UNMAP_PAGE;
         rpc.payload = {op->args.dstPid,
                        static_cast<std::uint32_t>(dst_vpage), 0, 0, 0, 0};
-        rpc.onResponse = [op, next_fn](const std::uint32_t *r) {
+        rpc.onResponse = [this, op, next_fn](const std::uint32_t *r) {
             if (r[0] != err::OK) {
-                op->done(r[0]);
+                finishOp(_kernel.eventQueue(), op, next_fn, r[0]);
                 return;
             }
             op->page++;
@@ -584,6 +609,7 @@ MapManager::startRemap(Process &proc, PageNum vpage,
             // All halves re-established: restore write permission.
             proc_ptr->space().pageTable().setWritable(vpage, true);
             ++_remaps;
+            breakChain(_kernel.eventQueue(), next_fn);
             (*done_fn)(err::OK);
             return;
         }
@@ -599,6 +625,7 @@ MapManager::startRemap(Process &proc, PageNum vpage,
         rpc.onResponse = [this, idx, pos, done_fn, next_fn, proc_ptr,
                           vpage](const std::uint32_t *r) {
             if (r[0] != err::OK) {
+                breakChain(_kernel.eventQueue(), next_fn);
                 (*done_fn)(r[0]);
                 return;
             }

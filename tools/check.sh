@@ -1,0 +1,20 @@
+#!/bin/sh
+# Sanitizer gate: build the whole tree with ASan+UBSan and run the
+# test suite. Usage: tools/check.sh [build-dir] (default build-asan).
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-asan"}
+
+cmake -B "$build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSHRIMP_SANITIZE=address,undefined
+cmake --build "$build" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of printing.
+cd "$build"
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --output-on-failure -j "$(nproc)"
+
+echo "check.sh: sanitizer build + tests passed"

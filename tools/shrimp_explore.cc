@@ -7,7 +7,7 @@
  *   shrimp_explore latency   [--nextgen] [--hops N]
  *   shrimp_explore bandwidth [--nextgen] [--kb N]
  *   shrimp_explore table1
- *   shrimp_explore stats     [--nextgen]
+ *   shrimp_explore stats     [--nextgen] [--reliable] [--drop PERMILLE]
  *
  * `latency` and `bandwidth` reproduce the paper's Section 5.1 numbers
  * for arbitrary parameters; `table1` prints the software-overhead
@@ -129,6 +129,10 @@ cmdStats(int argc, char **argv)
     cfg.meshWidth = 2;
     cfg.meshHeight = 1;
     cfg.nextGenDatapath = hasFlag(argc, argv, "--nextgen");
+    // What-if: a lossy fabric healed by the NI reliability layer.
+    cfg.ni.reliability.enabled = hasFlag(argc, argv, "--reliable");
+    cfg.linkFaults.dropProb =
+        argValue(argc, argv, "--drop", 0) / 1000.0;
     ShrimpSystem sys(cfg);
 
     Process *a = sys.kernel(0).createProcess("a");
@@ -154,7 +158,7 @@ cmdStats(int argc, char **argv)
 
     sys.startAll();
     sys.runUntilAllExited();
-    sys.runFor(ONE_MS);
+    sys.runFor(cfg.ni.reliability.enabled ? 50 * ONE_MS : ONE_MS);
     sys.dumpStats(std::cout);
     return 0;
 }
