@@ -145,4 +145,4 @@ BENCHMARK(BM_AutoUpdate_MergeWindowSweep)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("autoupdate_modes");

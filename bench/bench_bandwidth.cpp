@@ -65,4 +65,4 @@ BENCHMARK(BM_DeliberateBandwidth_NextGen)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("bandwidth");

@@ -132,4 +132,4 @@ BENCHMARK(BM_DmaClaim_ProportionalBackoff)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("dma_backoff");

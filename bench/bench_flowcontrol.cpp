@@ -139,4 +139,4 @@ BENCHMARK(BM_FlowControl_InFifoThresholdSweep)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("flowcontrol");

@@ -53,4 +53,4 @@ BENCHMARK(BM_SingleWriteLatency_NextGen)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("latency");

@@ -251,4 +251,4 @@ BENCHMARK(BM_FaultDrivenRemap)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("mapping");

@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+
 #include <memory>
 #include <vector>
 
@@ -215,4 +217,4 @@ BENCHMARK(BM_Mesh_SizeScaling)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("mesh");

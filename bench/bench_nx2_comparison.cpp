@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+
 #include "core/table1.hh"
 
 using namespace shrimp;
@@ -73,4 +75,4 @@ BENCHMARK(BM_OverheadRatio)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("nx2_comparison");

@@ -129,4 +129,4 @@ BENCHMARK(BM_Reliability_LossRateSweep)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("reliability");

@@ -25,6 +25,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+
 #include "core/gang.hh"
 
 using namespace shrimp;
@@ -180,4 +182,4 @@ BENCHMARK(BM_PingPong_GangScheduled)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("scheduling");

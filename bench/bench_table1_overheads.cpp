@@ -20,6 +20,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+
 #include "core/table1.hh"
 
 using namespace shrimp;
@@ -102,4 +104,4 @@ BENCHMARK(BM_UserLevelCsendCrecv)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHRIMP_BENCH_MAIN("table1_overheads");

@@ -8,10 +8,18 @@
 #ifndef SHRIMP_BENCH_BENCH_UTIL_HH
 #define SHRIMP_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
+#include <fstream>
+#include <iomanip>
 #include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
 
 #include "core/system.hh"
 #include "msg/deliberate.hh"
+#include "sim/json.hh"
 
 namespace shrimp
 {
@@ -42,13 +50,20 @@ peek32(ShrimpSystem &sys, NodeId node, Process &proc, Addr vaddr)
  * H1/H2: single-write automatic-update latency (store to remote
  * memory) between node 0 and a node @p hops away on a 4x4 mesh.
  *
+ * If @p trace_path / @p stats_json_path are given, the run records a
+ * packet-lifecycle trace / a machine-readable stats dump and writes
+ * them there (used by tools/shrimp_explore --trace-out/--stats-json).
+ *
  * @return latency in simulated microseconds.
  */
 inline double
-measureSingleWriteLatencyUs(bool next_gen, unsigned hops)
+measureSingleWriteLatencyUs(bool next_gen, unsigned hops,
+                            const char *trace_path = nullptr,
+                            const char *stats_json_path = nullptr)
 {
     SystemConfig cfg = SystemConfig::paper16();
     cfg.nextGenDatapath = next_gen;
+    cfg.traceEnabled = trace_path != nullptr;
     ShrimpSystem sys(cfg);
 
     // Row-major 4x4: walk east then south to get the hop count.
@@ -81,6 +96,12 @@ measureSingleWriteLatencyUs(bool next_gen, unsigned hops)
     sys.startAll();
     sys.runUntilAllExited();
     sys.runFor(ONE_MS);
+    if (trace_path)
+        sys.tracer()->writeFile(trace_path);
+    if (stats_json_path) {
+        std::ofstream out(stats_json_path);
+        sys.dumpStatsJson(out);
+    }
     return static_cast<double>(latency) / ONE_US;
 }
 
@@ -99,12 +120,15 @@ struct BandwidthResult
  * send macro and timing first-injection to last-delivery.
  */
 inline BandwidthResult
-measureDeliberateBandwidth(bool next_gen, Addr total_bytes)
+measureDeliberateBandwidth(bool next_gen, Addr total_bytes,
+                           const char *trace_path = nullptr,
+                           const char *stats_json_path = nullptr)
 {
     SystemConfig cfg;
     cfg.meshWidth = 2;
     cfg.meshHeight = 1;
     cfg.nextGenDatapath = next_gen;
+    cfg.traceEnabled = trace_path != nullptr;
     ShrimpSystem sys(cfg);
 
     std::size_t npages = total_bytes / PAGE_SIZE;
@@ -154,6 +178,13 @@ measureDeliberateBandwidth(bool next_gen, Addr total_bytes)
     sys.runUntilAllExited(10 * ONE_SEC, 2'000'000'000);
     sys.runFor(50 * ONE_MS);
 
+    if (trace_path)
+        sys.tracer()->writeFile(trace_path);
+    if (stats_json_path) {
+        std::ofstream out(stats_json_path);
+        sys.dumpStatsJson(out);
+    }
+
     BandwidthResult r;
     r.bytes = delivered_bytes;
     r.packets = delivered_pkts;
@@ -167,7 +198,79 @@ measureDeliberateBandwidth(bool next_gen, Addr total_bytes)
     return r;
 }
 
+/**
+ * A console reporter that additionally collects every successful run
+ * and can write them as a machine-readable BENCH_<name>.json artifact
+ * (schema_version 1; validated by tools/shrimp_validate and CI).
+ */
+class ArtifactReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (!run.error_occurred)
+                _runs.push_back(run);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    void
+    writeArtifact(const std::string &bench_name) const
+    {
+        std::ofstream out("BENCH_" + bench_name + ".json");
+        out << std::setprecision(17);
+        auto num = [&out](double v) {
+            out << (std::isfinite(v) ? v : 0.0);
+        };
+        out << "{\n  \"schema_version\": 1,\n  \"bench\": \""
+            << json::escape(bench_name) << "\",\n  \"results\": [";
+        bool first = true;
+        for (const Run &run : _runs) {
+            out << (first ? "\n" : ",\n") << "    {\"name\": \""
+                << json::escape(run.benchmark_name())
+                << "\", \"label\": \"" << json::escape(run.report_label)
+                << "\", \"iterations\": " << run.iterations
+                << ", \"real_time_s\": ";
+            num(run.real_accumulated_time);
+            out << ", \"counters\": {";
+            bool cfirst = true;
+            for (const auto &[cname, counter] : run.counters) {
+                out << (cfirst ? "" : ", ") << "\""
+                    << json::escape(cname) << "\": ";
+                num(counter.value);
+                cfirst = false;
+            }
+            out << "}}";
+            first = false;
+        }
+        out << "\n  ]\n}\n";
+    }
+
+  private:
+    std::vector<Run> _runs;
+};
+
 } // namespace bench_util
 } // namespace shrimp
+
+/**
+ * Drop-in replacement for BENCHMARK_MAIN() that also writes the
+ * BENCH_<shortname>.json results artifact next to the binary.
+ */
+#define SHRIMP_BENCH_MAIN(shortname)                                   \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        benchmark::Initialize(&argc, argv);                            \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))        \
+            return 1;                                                  \
+        shrimp::bench_util::ArtifactReporter reporter;                 \
+        benchmark::RunSpecifiedBenchmarks(&reporter);                  \
+        reporter.writeArtifact(shortname);                             \
+        benchmark::Shutdown();                                         \
+        return 0;                                                      \
+    }                                                                  \
+    int main(int, char **)
 
 #endif // SHRIMP_BENCH_BENCH_UTIL_HH

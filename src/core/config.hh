@@ -58,6 +58,15 @@ struct SystemConfig
     /** Wire the kernel channels + NX service at boot. */
     bool bootKernelServices = true;
 
+    /**
+     * Record a structured event trace (packet lifecycles, DMA bursts,
+     * kernel map/shootdown spans) exportable as Chrome trace-event
+     * JSON via ShrimpSystem::tracer(). Off by default: with tracing
+     * disabled no trace code runs beyond one pointer test, so timing
+     * and statistics are bit-identical to an untraced build.
+     */
+    bool traceEnabled = false;
+
     unsigned numNodes() const { return meshWidth * meshHeight; }
 
     /** A 16-node (4x4) configuration like the paper's estimate. */

@@ -8,6 +8,11 @@ namespace shrimp
 
 ShrimpSystem::ShrimpSystem(const SystemConfig &cfg) : _cfg(cfg)
 {
+    if (cfg.traceEnabled) {
+        _tracer = std::make_unique<trace::Tracer>();
+        _eq.setTracer(_tracer.get());
+    }
+
     _backplane = std::make_unique<MeshBackplane>(
         _eq, "mesh", cfg.meshWidth, cfg.meshHeight, cfg.router);
     if (cfg.linkFaults.any())
@@ -86,11 +91,38 @@ ShrimpSystem::dumpStats(std::ostream &os)
 {
     for (auto &node : _nodes) {
         node->bus.statGroup().dump(os);
+        node->eisa.statGroup().dump(os);
         node->cache.statGroup().dump(os);
         node->cpu.statGroup().dump(os);
         node->ni.statGroup().dump(os);
+        node->ni.outgoingFifo().statGroup().dump(os);
+        node->ni.incomingFifo().statGroup().dump(os);
+        node->ni.dma().statGroup().dump(os);
         node->kernel.statGroup().dump(os);
     }
+    for (NodeId id = 0; id < numNodes(); ++id)
+        _backplane->router(id).statGroup().dump(os);
+}
+
+void
+ShrimpSystem::dumpStatsJson(std::ostream &os)
+{
+    os << "{";
+    bool first = true;
+    for (auto &node : _nodes) {
+        node->bus.statGroup().dumpJsonInto(os, first);
+        node->eisa.statGroup().dumpJsonInto(os, first);
+        node->cache.statGroup().dumpJsonInto(os, first);
+        node->cpu.statGroup().dumpJsonInto(os, first);
+        node->ni.statGroup().dumpJsonInto(os, first);
+        node->ni.outgoingFifo().statGroup().dumpJsonInto(os, first);
+        node->ni.incomingFifo().statGroup().dumpJsonInto(os, first);
+        node->ni.dma().statGroup().dumpJsonInto(os, first);
+        node->kernel.statGroup().dumpJsonInto(os, first);
+    }
+    for (NodeId id = 0; id < numNodes(); ++id)
+        _backplane->router(id).statGroup().dumpJsonInto(os, first);
+    os << "\n}\n";
 }
 
 } // namespace shrimp

@@ -23,6 +23,7 @@
 
 #include "core/config.hh"
 #include "core/node.hh"
+#include "sim/trace.hh"
 
 namespace shrimp
 {
@@ -60,9 +61,16 @@ class ShrimpSystem
     /** Dump every component's statistics. */
     void dumpStats(std::ostream &os);
 
+    /** Dump every statistic as one flat JSON object keyed by path. */
+    void dumpStatsJson(std::ostream &os);
+
+    /** The event tracer, or nullptr unless config().traceEnabled. */
+    trace::Tracer *tracer() { return _tracer.get(); }
+
   private:
     SystemConfig _cfg;
     EventQueue _eq;
+    std::unique_ptr<trace::Tracer> _tracer;
     std::unique_ptr<MeshBackplane> _backplane;
     std::vector<std::unique_ptr<Node>> _nodes;
 };

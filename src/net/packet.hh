@@ -62,6 +62,8 @@ struct NetPacket
     // ---- simulation bookkeeping (not on the wire) ----
     Tick injectedAt = 0;        //!< when the source NIC injected it
     std::uint64_t seq = 0;      //!< per-source sequence, for order checks
+    /** Lifecycle-trace flow id (trace::Tracer); 0 = not traced. */
+    std::uint64_t traceId = 0;
 
     /** Total bytes this packet occupies on a link. */
     Addr

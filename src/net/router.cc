@@ -1,6 +1,7 @@
 #include "net/router.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace shrimp
 {
@@ -24,6 +25,7 @@ Router::Router(EventQueue &eq, std::string name, unsigned x, unsigned y,
     _stats.addStat(&_faultDuplicates);
     _stats.addStat(&_faultReorders);
     _stats.addStat(&_linkDownDrops);
+    _stats.addStat(&_queueDepth);
 }
 
 void
@@ -79,6 +81,7 @@ void
 Router::headerArrive(Port in, NetPacket &&pkt, Tick ready)
 {
     _inputs[in].queue.push_back(Entry{std::move(pkt), ready});
+    _queueDepth.sample(_inputs[in].queue.size());
     scheduleAdvance(ready > curTick() ? ready : curTick());
 }
 
@@ -168,6 +171,10 @@ Router::advance()
             NetPacket pkt = std::move(head.pkt);
             in.queue.pop_front();
             ++_ejected;
+            if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+                t->flowStep(now, name(), "packet", "eject", pkt.traceId,
+                            {trace::arg("x", _x), trace::arg("y", _y)});
+            }
             // The whole packet has crossed into the NIC when its tail
             // clears the ejection channel.
             eventQueue().scheduleFn(
@@ -206,6 +213,15 @@ Router::advance()
             // The wire was occupied, but nothing arrives downstream.
             ++(act == FaultModel::Action::DROP ? _faultDrops
                                                : _linkDownDrops);
+            if (auto *t = eventQueue().tracer();
+                t && head.pkt.traceId) {
+                t->flowEnd(now, name(), "packet", "lost",
+                           head.pkt.traceId,
+                           {trace::arg("reason",
+                                       act == FaultModel::Action::DROP
+                                           ? "faultDrop"
+                                           : "linkDown")});
+            }
             _outBusyUntil[out] = now + ser;
             in.queue.pop_front();
             eventQueue().scheduleFn(
@@ -228,6 +244,13 @@ Router::advance()
 
         NetPacket pkt = std::move(head.pkt);
         in.queue.pop_front();
+
+        if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+            t->flowStep(now, name(), "packet", "hop", pkt.traceId,
+                        {trace::arg("x", _x), trace::arg("y", _y),
+                         trace::arg("out",
+                                    static_cast<unsigned>(out))});
+        }
 
         if (act == FaultModel::Action::CORRUPT) {
             fm->corrupt(pkt);

@@ -215,6 +215,8 @@ class Router : public SimObject
                                   "packets delayed past successors"};
     stats::Counter _linkDownDrops{"linkDownDrops",
                                   "packets lost to link outage windows"};
+    stats::Histogram _queueDepth{
+        "inQueueDepth", "input-port queue depth at header arrival"};
 };
 
 } // namespace shrimp

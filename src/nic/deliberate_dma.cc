@@ -2,6 +2,7 @@
 
 #include "net/packet.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace shrimp
 {
@@ -48,6 +49,13 @@ DeliberateDma::start(Addr src_paddr, std::uint32_t nwords)
     _cursor = src_paddr;
     _wordsRemaining = nwords;
     ++_transfers;
+
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "dma", "dmaClaim",
+                   {trace::arg("paddr", src_paddr),
+                    trace::arg("words",
+                               static_cast<std::uint64_t>(nwords))});
+    }
 
     reschedule(_chunkEvent, curTick() + _params.startLatency);
     return true;
@@ -100,6 +108,13 @@ DeliberateDma::transferChunk()
     NodeId dst = lookup.dstNode;
     Addr dst_addr = lookup.dstAddr;
     _bytes += chunk;
+
+    if (auto *t = eventQueue().tracer()) {
+        t->complete(curTick(), data_ready, name(), "dma",
+                    "dmaChunkRead",
+                    {trace::arg("paddr", _cursor),
+                     trace::arg("bytes", chunk)});
+    }
 
     // Progress state (_cursor, _wordsRemaining, _busy) only advances
     // when the chunk is actually captured by the outgoing datapath, so

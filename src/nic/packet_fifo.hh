@@ -21,14 +21,27 @@
 namespace shrimp
 {
 
-/** A byte-accounted FIFO of packets with hysteresis thresholds. */
+/**
+ * A byte-accounted FIFO of packets with hysteresis thresholds.
+ *
+ * Threshold semantics (pinned by fifo_test's threshold-crossing
+ * tests): a fill of exactly highThresholdBytes still counts as
+ * "below" -- belowHighThreshold() is true and no callback fires; only
+ * a push that moves the fill from <= high to strictly > high fires
+ * onAboveThreshold. Symmetrically, draining counts from strictly
+ * above lowThresholdBytes to exactly at-or-below it fires onDrained:
+ * a pop landing exactly on the low threshold does fire. Both
+ * callbacks are edge-triggered -- staying above (or below) never
+ * refires them.
+ */
 class PacketFifo
 {
   public:
     struct Params
     {
         Addr capacityBytes = 64 * 1024;
-        /** Crossing above this (from below) fires onAboveThreshold. */
+        /** Crossing strictly above this (from <=) fires
+         *  onAboveThreshold. */
         Addr highThresholdBytes = 56 * 1024;
         /** Crossing to-or-below this (from above) fires onDrained. */
         Addr lowThresholdBytes = 32 * 1024;
@@ -43,6 +56,7 @@ class PacketFifo
                       "inconsistent FIFO thresholds");
         _stats.addStat(&_pushes);
         _stats.addStat(&_maxFill);
+        _stats.addStat(&_depth);
     }
 
     /** Fired when fill first exceeds the high threshold. */
@@ -82,18 +96,14 @@ class PacketFifo
         SHRIMP_ASSERT(wouldFit(bytes),
                       "FIFO overflow: fill=", _fillBytes, " +", bytes,
                       " > ", _params.capacityBytes);
-        bool was_below = _fillBytes <= _params.highThresholdBytes;
+        bool was_below = belowHighThreshold();
         _fillBytes += bytes;
         _items.push_back(Item{std::move(pkt), ready});
         ++_pushes;
-        if (_fillBytes > _maxFillSeen) {
-            _maxFillSeen = _fillBytes;
-            _maxFill = static_cast<double>(_maxFillSeen);
-        }
-        if (was_below && _fillBytes > _params.highThresholdBytes &&
-            onAboveThreshold) {
+        _maxFill.observe(static_cast<double>(_fillBytes));
+        _depth.sample(_items.size());
+        if (was_below && !belowHighThreshold() && onAboveThreshold)
             onAboveThreshold();
-        }
     }
 
     const Item &
@@ -127,17 +137,28 @@ class PacketFifo
     }
 
     std::uint64_t pushCount() const { return _pushes.value(); }
+
+    /** Peak fill since construction or the last stats reset. */
+    Addr
+    maxFillBytes() const
+    {
+        return static_cast<Addr>(_maxFill.value());
+    }
+
     stats::Group &statGroup() { return _stats; }
 
   private:
     Params _params;
     std::deque<Item> _items;
     Addr _fillBytes = 0;
-    Addr _maxFillSeen = 0;
 
     stats::Group _stats;
     stats::Counter _pushes{"pushes", "packets pushed"};
-    stats::Scalar _maxFill{"maxFillBytes", "peak fill level"};
+    /** Self-tracking peak: a resetAll() genuinely restarts it, so
+     *  post-reset peaks below an old high-water mark are not lost. */
+    stats::Peak _maxFill{"maxFillBytes", "peak fill level"};
+    stats::Histogram _depth{"depthPackets",
+                            "queue depth (packets) observed at push"};
 };
 
 } // namespace shrimp

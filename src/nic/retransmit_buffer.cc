@@ -1,6 +1,7 @@
 #include "nic/retransmit_buffer.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace shrimp
 {
@@ -138,6 +139,12 @@ RetransmitBuffer::onNack(NodeId src, std::uint64_t missing)
         return;
     }
     ++_retxNack;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(now, name(), "rel", "retxNack",
+                   {trace::arg("dst", static_cast<std::uint64_t>(src)),
+                    trace::arg("rseq", missing),
+                    trace::arg("try", head.retries)});
+    }
     SHRIMP_DTRACE("Retx", now, name(), "NACK fast retransmit seq ",
                   missing, " -> node ", src);
     if (_hooks.retransmit)
@@ -170,6 +177,13 @@ RetransmitBuffer::timeout()
         // unacked packet is enough to restart the pipeline; later
         // losses surface as NACKs or further timeouts.
         ++_retxTimeout;
+        if (auto *t = eventQueue().tracer()) {
+            t->instant(
+                now, name(), "rel", "retxTimeout",
+                {trace::arg("dst", static_cast<std::uint64_t>(dst)),
+                 trace::arg("rseq", head.pkt.rseq),
+                 trace::arg("try", head.retries)});
+        }
         ++st.backoffExp;
         if (static_cast<double>(st.backoffExp) > _maxBackoffExp.value())
             _maxBackoffExp = static_cast<double>(st.backoffExp);
@@ -193,6 +207,11 @@ RetransmitBuffer::failChannel(NodeId dst, TxState &st)
     st.failed = true;
     st.window.clear();
     st.deadline = 0;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "rel", "channelFailed",
+                   {trace::arg("dst",
+                               static_cast<std::uint64_t>(dst))});
+    }
     SHRIMP_DTRACE("Retx", curTick(), name(), "destination ", dst,
                   " declared unreachable after ", _params.maxRetries,
                   " retries");

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace shrimp
 {
@@ -78,6 +79,7 @@ ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
     _stats.addStat(&_relMappingsErrored);
     _stats.addStat(&_relDroppedFailed);
     _stats.addStat(&_deliveryLatency);
+    _stats.addStat(&_deliveryLatencyHist);
 
     if (_params.reliability.enabled) {
         _rx.resize(backplane.numNodes());
@@ -147,6 +149,11 @@ ShrimpNi::snoopWrite(Addr paddr, const void *buf, Addr len,
     OutLookup lookup = _nipt.lookupOut(paddr);
     if (!lookup.mapped)
         return;
+
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "ni", "storeSnooped",
+                   {trace::arg("paddr", paddr), trace::arg("len", len)});
+    }
 
     switch (lookup.mode) {
       case UpdateMode::AUTO_SINGLE:
@@ -255,6 +262,20 @@ ShrimpNi::emitPacket(NodeId dst, Addr dst_addr,
     pkt.injectedAt = curTick();
     pkt.seq = _nextSeq++;
 
+    if (auto *t = eventQueue().tracer()) {
+        pkt.traceId = t->newFlowId();
+        t->flowBegin(
+            curTick(), name(), "packet", "lifetime", pkt.traceId,
+            {trace::arg("dst", static_cast<std::uint64_t>(dst)),
+             trace::arg("paddr", dst_addr),
+             trace::arg("bytes",
+                        static_cast<std::uint64_t>(pkt.payload.size()))});
+        // The packetize engine hands the sealed packet to the
+        // Outgoing FIFO once its latency elapses.
+        t->flowStep(ready, name(), "packet", "packetized", pkt.traceId,
+                    {});
+    }
+
     SHRIMP_DTRACE("Nic", curTick(), name(),
                   "packet -> node ", dst, " paddr ", dst_addr,
                   " bytes ", pkt.payload.size(), " seq ", pkt.seq);
@@ -285,6 +306,12 @@ ShrimpNi::tryInject()
         _ctrl.pop_front();
         Tick ser = _router.serializationTime(pkt);
         _nextInjectOk = now + _params.injectOverhead + ser;
+        if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+            // A control-queue packet with a flow id is a
+            // retransmission of a traced DATA packet.
+            t->flowStep(now, name(), "packet", "retransmitInject",
+                        pkt.traceId, {trace::arg("rseq", pkt.rseq)});
+        }
         _router.inject(std::move(pkt));
 
         if (!_ctrl.empty() || !_outFifo.empty())
@@ -311,8 +338,13 @@ ShrimpNi::tryInject()
         NodeId dst = head.pkt.dstNode;
         if (_retx->isFailed(dst)) {
             // The channel died while this packet sat in the FIFO.
-            _outFifo.pop();
+            NetPacket dead = _outFifo.pop();
             ++_relDroppedFailed;
+            if (auto *t = eventQueue().tracer(); t && dead.traceId) {
+                t->flowEnd(now, name(), "packet", "dropped",
+                           dead.traceId,
+                           {trace::arg("reason", "failedChannel")});
+            }
             if (!_outFifo.empty())
                 reschedule(_injectEvent, now);
             return;
@@ -325,6 +357,10 @@ ShrimpNi::tryInject()
     Tick ser = _router.serializationTime(pkt);
     _nextInjectOk = now + _params.injectOverhead + ser;
     ++_pktsSent;
+    if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+        t->flowStep(now, name(), "packet", "inject", pkt.traceId,
+                    {trace::arg("wireBytes", pkt.wireBytes())});
+    }
     if (track)
         _retx->record(pkt);
     if (_corruptNext) {
@@ -431,6 +467,10 @@ ShrimpNi::sinkDeliver(NetPacket &&pkt)
                       "DROP bad crc/coords from node ", pkt.srcNode,
                       " seq ", pkt.seq);
         ++_dropsCrc;
+        if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+            t->flowEnd(curTick(), name(), "packet", "dropped",
+                       pkt.traceId, {trace::arg("reason", "crc")});
+        }
         if (onDropped)
             onDropped(pkt);
         // Reliability: ask for the retransmission immediately instead
@@ -451,6 +491,15 @@ ShrimpNi::sinkDeliver(NetPacket &&pkt)
     if (pkt.reliable && pkt.kind != NetPacket::Kind::DATA) {
         if (!_params.reliability.enabled)
             return;     // mixed configuration; nothing to update
+        if (auto *t = eventQueue().tracer()) {
+            t->instant(
+                curTick(), name(), "rel",
+                pkt.kind == NetPacket::Kind::ACK ? "ackRecv"
+                                                 : "nackRecv",
+                {trace::arg("src",
+                            static_cast<std::uint64_t>(pkt.srcNode)),
+                 trace::arg("rseq", pkt.rseq)});
+        }
         if (pkt.kind == NetPacket::Kind::ACK) {
             ++_relAcksRcvd;
             _retx->onAck(pkt.srcNode, pkt.rseq);
@@ -466,6 +515,10 @@ ShrimpNi::sinkDeliver(NetPacket &&pkt)
         return;
     }
 
+    if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+        t->flowStep(curTick(), name(), "packet", "inFifoEnqueue",
+                    pkt.traceId, {});
+    }
     _inFifo.push(std::move(pkt), curTick());
     if (!_draining && !_drainEvent.scheduled())
         reschedule(_drainEvent, curTick());
@@ -488,6 +541,12 @@ ShrimpNi::receiveReliableData(NetPacket &&pkt)
         // that crossed our ACK. Suppress, and re-ACK immediately in
         // case the ACK was the casualty.
         ++_relDupsSuppressed;
+        if (auto *t = eventQueue().tracer()) {
+            t->instant(curTick(), name(), "rel", "dupSuppressed",
+                       {trace::arg("src",
+                                   static_cast<std::uint64_t>(src)),
+                        trace::arg("rseq", pkt.rseq)});
+        }
         SHRIMP_DTRACE("Nic", curTick(), name(), "DUP seq ", pkt.rseq,
                       " from node ", src, " (expected ", rx.expected,
                       ")");
@@ -520,6 +579,11 @@ ShrimpNi::acceptInOrder(NetPacket &&pkt)
     NodeId src = pkt.srcNode;
     RxState &rx = _rx[src];
 
+    trace::Tracer *t = eventQueue().tracer();
+    if (t && pkt.traceId) {
+        t->flowStep(curTick(), name(), "packet", "inFifoEnqueue",
+                    pkt.traceId, {});
+    }
     _inFifo.push(std::move(pkt), curTick());
     ++rx.expected;
     ++rx.unacked;
@@ -530,6 +594,10 @@ ShrimpNi::acceptInOrder(NetPacket &&pkt)
          it != rx.ooo.end() && _inFifo.wouldFit(it->second.wireBytes());
          it = rx.ooo.find(rx.expected)) {
         ++_relReorderFixes;
+        if (t && it->second.traceId) {
+            t->flowStep(curTick(), name(), "packet", "inFifoEnqueue",
+                        it->second.traceId, {});
+        }
         _inFifo.push(std::move(it->second), curTick());
         rx.ooo.erase(it);
         ++rx.expected;
@@ -586,6 +654,11 @@ ShrimpNi::sendAckNow(NodeId src)
     rx.ackPending = false;
     rx.unacked = 0;
     ++_relAcksSent;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "rel", "ackSend",
+                   {trace::arg("dst", static_cast<std::uint64_t>(src)),
+                    trace::arg("rseq", rx.expected)});
+    }
     queueControl(makeControl(NetPacket::Kind::ACK, src, rx.expected));
 }
 
@@ -603,6 +676,11 @@ ShrimpNi::sendNack(NodeId src)
     rx.lastNackSeq = rx.expected;
     rx.lastNackAt = now;
     ++_relNacksSent;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(now, name(), "rel", "nackSend",
+                   {trace::arg("dst", static_cast<std::uint64_t>(src)),
+                    trace::arg("rseq", rx.expected)});
+    }
     queueControl(makeControl(NetPacket::Kind::NACK, src, rx.expected));
 }
 
@@ -661,6 +739,11 @@ ShrimpNi::drainIncoming()
         if (!_nipt.mappedIn(pageOf(head.pkt.dstPaddr))) {
             NetPacket dropped = _inFifo.pop();
             ++_dropsUnmapped;
+            if (auto *t = eventQueue().tracer(); t && dropped.traceId) {
+                t->flowEnd(now, name(), "packet", "dropped",
+                           dropped.traceId,
+                           {trace::arg("reason", "unmapped")});
+            }
             if (onDropped)
                 onDropped(dropped);
             if (!_inFifo.empty())
@@ -708,6 +791,15 @@ ShrimpNi::drainIncoming()
     }
 
     _draining = true;
+    if (auto *t = eventQueue().tracer()) {
+        t->complete(now, done, name(), "dma", "dmaBurst",
+                    {trace::arg("bytes", bytes),
+                     trace::arg("packets",
+                                static_cast<std::uint64_t>(count)),
+                     trace::arg("path", _params.eisaIncoming
+                                            ? "eisa"
+                                            : "xpress")});
+    }
     eventQueue().scheduleFn(
         [this, count]() {
             _draining = false;
@@ -732,6 +824,13 @@ ShrimpNi::commitArrival(NetPacket &&pkt)
     _bytesDelivered += pkt.payload.size();
     _deliveryLatency.sample(
         static_cast<double>(curTick() - pkt.injectedAt));
+    _deliveryLatencyHist.sample(curTick() - pkt.injectedAt);
+    if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+        t->flowStep(curTick(), name(), "packet", "commit", pkt.traceId,
+                    {trace::arg("paddr", pkt.dstPaddr)});
+        t->flowEnd(curTick(), name(), "packet", "lifetime", pkt.traceId,
+                   {trace::arg("latency", curTick() - pkt.injectedAt)});
+    }
 
     PageNum page = pageOf(pkt.dstPaddr);
     if (_nipt.entry(page).interruptOnArrival && onArrival) {

@@ -362,6 +362,9 @@ class ShrimpNi : public SimObject,
         "relDroppedFailed", "packets dropped toward failed destinations"};
     stats::Distribution _deliveryLatency{
         "deliveryLatency", "injection-to-memory latency (ticks)"};
+    stats::Histogram _deliveryLatencyHist{
+        "deliveryLatencyHist",
+        "injection-to-memory latency distribution (ticks, log2 buckets)"};
 };
 
 } // namespace shrimp

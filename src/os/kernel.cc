@@ -3,6 +3,7 @@
 #include "os/map_manager.hh"
 #include "os/nx_service.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace shrimp
 {
@@ -428,9 +429,22 @@ Kernel::mapDirectRange(Process &src_proc, Addr src_vaddr, Addr nbytes,
 {
     SHRIMP_ASSERT(nbytes > 0, "empty mapping");
 
+    // The whole walk is synchronous, so a B/E span brackets it
+    // exactly; the args record what was asked, not what succeeded.
+    trace::Tracer *tracer = eventQueue().tracer();
+    if (tracer) {
+        tracer->begin(
+            curTick(), name(), "kernel", "mapDirectRange",
+            {trace::arg("srcVaddr", src_vaddr),
+             trace::arg("nbytes", nbytes),
+             trace::arg("dstNode", static_cast<std::uint64_t>(
+                                       dst_kernel.nodeId()))});
+    }
+
     // Walk the source range page by page; each source page
     // contributes one mapping half per destination page it touches
     // (at most two, the paper's split-page limit).
+    std::uint64_t result = [&]() -> std::uint64_t {
     Addr src_end = src_vaddr + nbytes;
     Addr cursor = src_vaddr;
     while (cursor < src_end) {
@@ -507,6 +521,13 @@ Kernel::mapDirectRange(Process &src_proc, Addr src_vaddr, Addr nbytes,
         cursor = half_end;
     }
     return err::OK;
+    }();
+
+    if (tracer) {
+        tracer->end(curTick(), name(), "kernel", "mapDirectRange",
+                    {trace::arg("err", result)});
+    }
+    return result;
 }
 
 Addr
@@ -577,7 +598,25 @@ Kernel::evictUserPage(Process &proc, Addr vaddr,
 
     if (has_in) {
         // INVALIDATE policy: shoot down remote NIPT entries first.
-        _mapManager->shootdown(frame, std::move(proceed));
+        Tick t0 = curTick();
+        if (auto *t = eventQueue().tracer()) {
+            t->instant(t0, name(), "kernel", "shootdownRequest",
+                       {trace::arg("frame",
+                                   static_cast<std::uint64_t>(frame))});
+        }
+        _mapManager->shootdown(
+            frame, [this, t0, frame,
+                    proceed = std::move(proceed)]() mutable {
+                // The shootdown round-trips the mesh; render it as a
+                // complete span from request to the all-acked call.
+                if (auto *t = eventQueue().tracer()) {
+                    t->complete(
+                        t0, curTick(), name(), "kernel", "shootdown",
+                        {trace::arg("frame",
+                                    static_cast<std::uint64_t>(frame))});
+                }
+                proceed();
+            });
     } else {
         proceed();
     }

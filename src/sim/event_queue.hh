@@ -23,6 +23,11 @@ namespace shrimp
 
 class EventQueue;
 
+namespace trace
+{
+class Tracer;
+} // namespace trace
+
 /**
  * Base class for schedulable events. Components typically embed Event
  * subclasses (or EventFunctionWrapper) as members and reschedule them,
@@ -102,6 +107,14 @@ class EventQueue
 
     /** Current simulated time. */
     Tick curTick() const { return _curTick; }
+
+    /**
+     * The structured tracer shared by every component on this queue,
+     * or nullptr when tracing is off (the common, zero-overhead case).
+     * Instrumentation sites test the pointer before recording.
+     */
+    trace::Tracer *tracer() const { return _tracer; }
+    void setTracer(trace::Tracer *t) { _tracer = t; }
 
     /** Schedule @p ev at absolute time @p when (>= curTick). */
     void schedule(Event *ev, Tick when,
@@ -184,6 +197,7 @@ class EventQueue
     std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryCompare>
         _queue;
     std::vector<Event *> _liveOneShots;  //!< auto-delete events pending
+    trace::Tracer *_tracer = nullptr;
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _nextStamp = 1;

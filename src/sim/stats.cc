@@ -1,7 +1,10 @@
 #include "sim/stats.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
+
+#include "sim/json.hh"
 
 namespace shrimp
 {
@@ -19,6 +22,29 @@ printLine(std::ostream &os, const std::string &prefix,
        << std::right << std::setw(16) << value << "  # " << desc << "\n";
 }
 
+/** Start one member of the enclosing JSON object: `"key": `. */
+void
+jsonKey(std::ostream &os, bool &first, const std::string &key)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "  \"" << json::escape(key) << "\": ";
+}
+
+/** A double as a JSON number (JSON has no inf/nan; clamp to 0). */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
 } // namespace
 
 void
@@ -28,9 +54,39 @@ Counter::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Counter::dumpJson(std::ostream &os, const std::string &prefix,
+                  bool &first) const
+{
+    jsonKey(os, first, prefix + name());
+    os << _value;
+}
+
+void
 Scalar::dump(std::ostream &os, const std::string &prefix) const
 {
     printLine(os, prefix, name(), _value, desc());
+}
+
+void
+Scalar::dumpJson(std::ostream &os, const std::string &prefix,
+                 bool &first) const
+{
+    jsonKey(os, first, prefix + name());
+    jsonNumber(os, _value);
+}
+
+void
+Peak::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), _value, desc());
+}
+
+void
+Peak::dumpJson(std::ostream &os, const std::string &prefix,
+               bool &first) const
+{
+    jsonKey(os, first, prefix + name());
+    jsonNumber(os, _value);
 }
 
 double
@@ -38,9 +94,10 @@ Distribution::stddev() const
 {
     if (_count < 2)
         return 0.0;
-    double m = mean();
-    double var = _sumSq / _count - m * m;
-    return var > 0.0 ? std::sqrt(var) : 0.0;
+    // Population variance; _m2 is non-negative by construction, so no
+    // cancellation guard is needed (the sum-of-squares formula needed
+    // one, and still lost every significant digit for mean >> stddev).
+    return std::sqrt(_m2 / static_cast<double>(_count));
 }
 
 void
@@ -55,13 +112,81 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Distribution::dumpJson(std::ostream &os, const std::string &prefix,
+                       bool &first) const
+{
+    jsonKey(os, first, prefix + name());
+    os << "{\"count\": " << _count << ", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"min\": ";
+    jsonNumber(os, minValue());
+    os << ", \"max\": ";
+    jsonNumber(os, maxValue());
+    os << ", \"stddev\": ";
+    jsonNumber(os, stddev());
+    os << "}";
+}
+
+void
 Distribution::reset()
 {
     _count = 0;
-    _sum = 0.0;
-    _sumSq = 0.0;
+    _mean = 0.0;
+    _m2 = 0.0;
     _min = std::numeric_limits<double>::infinity();
     _max = -std::numeric_limits<double>::infinity();
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name() + ".count",
+              static_cast<double>(_count), desc());
+    printLine(os, prefix, name() + ".mean", mean(), desc());
+    printLine(os, prefix, name() + ".min",
+              static_cast<double>(minValue()), desc());
+    printLine(os, prefix, name() + ".max",
+              static_cast<double>(maxValue()), desc());
+    for (unsigned b = 0; b < _buckets.size(); ++b) {
+        if (!_buckets[b])
+            continue;
+        printLine(os, prefix,
+                  name() + ".ge_" + std::to_string(bucketLow(b)),
+                  static_cast<double>(_buckets[b]),
+                  "samples in log2 bucket");
+    }
+}
+
+void
+Histogram::dumpJson(std::ostream &os, const std::string &prefix,
+                    bool &first) const
+{
+    jsonKey(os, first, prefix + name());
+    os << "{\"count\": " << _count << ", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"min\": " << minValue() << ", \"max\": " << maxValue()
+       << ", \"buckets\": [";
+    bool bfirst = true;
+    for (unsigned b = 0; b < _buckets.size(); ++b) {
+        if (!_buckets[b])
+            continue;
+        if (!bfirst)
+            os << ", ";
+        bfirst = false;
+        os << "{\"ge\": " << bucketLow(b) << ", \"count\": "
+           << _buckets[b] << "}";
+    }
+    os << "]}";
+}
+
+void
+Histogram::reset()
+{
+    _count = 0;
+    _sum = 0.0;
+    _min = std::numeric_limits<std::uint64_t>::max();
+    _max = 0;
+    _buckets.clear();
 }
 
 Group::Group(std::string name, Group *parent)
@@ -85,6 +210,32 @@ Group::dumpWithPrefix(std::ostream &os, const std::string &prefix) const
         s->dump(os, path);
     for (const Group *g : _children)
         g->dumpWithPrefix(os, path);
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    bool first = true;
+    os << "{\n";
+    dumpJsonInto(os, first);
+    os << "\n}\n";
+}
+
+void
+Group::dumpJsonInto(std::ostream &os, bool &first) const
+{
+    dumpJsonWithPrefix(os, "", first);
+}
+
+void
+Group::dumpJsonWithPrefix(std::ostream &os, const std::string &prefix,
+                          bool &first) const
+{
+    std::string path = prefix.empty() ? _name + "." : prefix + _name + ".";
+    for (const Stat *s : _stats)
+        s->dumpJson(os, path, first);
+    for (const Group *g : _children)
+        g->dumpJsonWithPrefix(os, path, first);
 }
 
 void

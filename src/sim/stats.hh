@@ -1,14 +1,16 @@
 /**
  * @file
- * A small statistics package: scalar counters, distributions, and
- * hierarchical stat groups with text dumping. Modeled loosely on the
- * gem5 stats package, sized for this simulator.
+ * A small statistics package: scalar counters, gauges, distributions,
+ * log-2 histograms, and hierarchical stat groups with text and JSON
+ * dumping. Modeled loosely on the gem5 stats package, sized for this
+ * simulator.
  */
 
 #ifndef SHRIMP_SIM_STATS_HH
 #define SHRIMP_SIM_STATS_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <ostream>
@@ -36,6 +38,14 @@ class Stat
     /** Print one or more "name value # desc" lines. */
     virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
 
+    /**
+     * Emit one JSON member `"prefix.name": <value>` (a bare number for
+     * scalars, an object for distributions/histograms). @p first is
+     * the enclosing object's comma state, updated in place.
+     */
+    virtual void dumpJson(std::ostream &os, const std::string &prefix,
+                          bool &first) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -56,6 +66,8 @@ class Counter : public Stat
     std::uint64_t value() const { return _value; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os, const std::string &prefix,
+                  bool &first) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -72,6 +84,36 @@ class Scalar : public Stat
     double value() const { return _value; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os, const std::string &prefix,
+                  bool &first) const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * A self-tracking high-water mark: observe() keeps the maximum seen
+ * since construction or the last reset(). Unlike a plain Scalar fed
+ * from shadow state, the peak honestly restarts after a stats reset.
+ */
+class Peak : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    observe(double v)
+    {
+        if (v > _value)
+            _value = v;
+    }
+
+    double value() const { return _value; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os, const std::string &prefix,
+                  bool &first) const override;
     void reset() override { _value = 0.0; }
 
   private:
@@ -80,7 +122,9 @@ class Scalar : public Stat
 
 /**
  * A sampled distribution tracking count, min, max, mean and standard
- * deviation (via sum and sum-of-squares).
+ * deviation. Uses Welford's online algorithm: the naive sum-of-squares
+ * formula cancels catastrophically when mean >> stddev (tick-valued
+ * latencies are ~1e6 and worse), which this package once got wrong.
  */
 class Distribution : public Stat
 {
@@ -91,28 +135,91 @@ class Distribution : public Stat
     sample(double v)
     {
         ++_count;
-        _sum += v;
-        _sumSq += v * v;
+        double delta = v - _mean;
+        _mean += delta / static_cast<double>(_count);
+        _m2 += delta * (v - _mean);
         _min = std::min(_min, v);
         _max = std::max(_max, v);
     }
 
     std::uint64_t count() const { return _count; }
-    double sum() const { return _sum; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
+    double sum() const { return _mean * static_cast<double>(_count); }
+    double mean() const { return _count ? _mean : 0.0; }
     double minValue() const { return _count ? _min : 0.0; }
     double maxValue() const { return _count ? _max : 0.0; }
     double stddev() const;
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os, const std::string &prefix,
+                  bool &first) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;   //!< sum of squared deviations from the mean
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A log-2 bucketed histogram of non-negative integer samples (ticks,
+ * queue depths). Bucket 0 holds zeros; bucket b >= 1 holds samples in
+ * [2^(b-1), 2^b). Also tracks count/min/max/mean so a histogram can
+ * stand in for a Distribution in machine-readable output.
+ */
+class Histogram : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    sample(std::uint64_t v)
+    {
+        ++_count;
+        _sum += static_cast<double>(v);
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+        unsigned b = bucketOf(v);
+        if (b >= _buckets.size())
+            _buckets.resize(b + 1, 0);
+        ++_buckets[b];
+    }
+
+    /** Bucket index for @p v: 0 for 0, else 1 + floor(log2 v). */
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        return static_cast<unsigned>(std::bit_width(v));
+    }
+
+    /** Smallest sample value landing in bucket @p b. */
+    static std::uint64_t
+    bucketLow(unsigned b)
+    {
+        return b ? std::uint64_t{1} << (b - 1) : 0;
+    }
+
+    std::uint64_t count() const { return _count; }
+    double mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
+    std::uint64_t minValue() const { return _count ? _min : 0; }
+    std::uint64_t maxValue() const { return _count ? _max : 0; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os, const std::string &prefix,
+                  bool &first) const override;
     void reset() override;
 
   private:
     std::uint64_t _count = 0;
     double _sum = 0.0;
-    double _sumSq = 0.0;
-    double _min = std::numeric_limits<double>::infinity();
-    double _max = -std::numeric_limits<double>::infinity();
+    std::uint64_t _min = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t _max = 0;
+    std::vector<std::uint64_t> _buckets;
 };
 
 /**
@@ -135,11 +242,23 @@ class Group
     /** Dump this group's stats and all children, prefixed by path. */
     void dump(std::ostream &os) const;
 
+    /** Dump this tree as one flat JSON object keyed by stat path. */
+    void dumpJson(std::ostream &os) const;
+
+    /**
+     * Emit this tree's members into an enclosing JSON object (shared
+     * comma state @p first); lets a caller merge many groups into one
+     * document. Keys are full dotted stat paths.
+     */
+    void dumpJsonInto(std::ostream &os, bool &first) const;
+
     /** Reset this group's stats and all children. */
     void resetAll();
 
   private:
     void dumpWithPrefix(std::ostream &os, const std::string &prefix) const;
+    void dumpJsonWithPrefix(std::ostream &os, const std::string &prefix,
+                            bool &first) const;
 
     std::string _name;
     std::vector<Stat *> _stats;

@@ -1,0 +1,125 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/json.hh"
+
+namespace shrimp
+{
+namespace trace
+{
+
+int
+Tracer::tidFor(const std::string &who)
+{
+    auto it = _tidOf.find(who);
+    if (it != _tidOf.end())
+        return it->second;
+    int tid = static_cast<int>(_tidName.size());
+    _tidOf.emplace(who, tid);
+    _tidName.push_back(who);
+    return tid;
+}
+
+void
+Tracer::record(char ph, Tick ts, Tick dur, std::uint64_t id,
+               const std::string &who, const char *cat,
+               const char *name, std::vector<Arg> &&args)
+{
+    _events.push_back(
+        Event{ph, ts, dur, id, tidFor(who), cat, name, std::move(args)});
+}
+
+namespace
+{
+
+/** Ticks (ps) as fractional microseconds, full precision. */
+void
+putTicksUs(std::ostream &os, Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(t / 1'000'000),
+                  static_cast<unsigned long long>(t % 1'000'000));
+    os << buf;
+}
+
+void
+putArgs(std::ostream &os, const std::vector<Arg> &args)
+{
+    os << "\"args\":{";
+    bool first = true;
+    for (const Arg &a : args) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << json::escape(a.key) << "\":";
+        if (a.numeric)
+            os << a.value;
+        else
+            os << "\"" << json::escape(a.value) << "\"";
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+Tracer::exportJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+
+    // Metadata: name the process and each component "thread".
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"shrimp\"}}";
+    first = false;
+    for (std::size_t tid = 0; tid < _tidName.size(); ++tid) {
+        os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << json::escape(_tidName[tid]) << "\"}}";
+    }
+
+    for (const Event &e : _events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"" << e.ph << "\",\"pid\":0,\"tid\":" << e.tid
+           << ",\"ts\":";
+        putTicksUs(os, e.ts);
+        os << ",\"cat\":\"" << json::escape(e.cat) << "\",\"name\":\""
+           << json::escape(e.name) << "\"";
+        if (e.ph == 'X') {
+            os << ",\"dur\":";
+            putTicksUs(os, e.dur);
+        }
+        if (e.ph == 'b' || e.ph == 'n' || e.ph == 'e') {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(e.id));
+            os << ",\"id\":\"" << buf << "\"";
+        }
+        if (e.ph == 'i')
+            os << ",\"s\":\"t\"";   // instant scope: thread
+        if (!e.args.empty()) {
+            os << ",";
+            putArgs(os, e.args);
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+Tracer::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    exportJson(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace trace
+} // namespace shrimp

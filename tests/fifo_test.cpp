@@ -108,7 +108,68 @@ TEST(PacketFifo, TracksPeakFill)
     fifo.pop();
     fifo.pop();
     EXPECT_EQ(fifo.pushCount(), 2u);
+    EXPECT_EQ(fifo.maxFillBytes(), 2u * 118u);
     EXPECT_TRUE(fifo.empty());
+}
+
+TEST(PacketFifo, PeakFillResets)
+{
+    // Regression: the peak used to live in shadow state the stats
+    // reset never touched, so post-reset peaks below the old
+    // high-water mark were reported as the stale pre-reset value.
+    PacketFifo fifo("f", PacketFifo::Params{});
+    fifo.push(pktOfBytes(1000), 0);     // peak 1018
+    fifo.pop();
+    EXPECT_EQ(fifo.maxFillBytes(), 1018u);
+
+    fifo.statGroup().resetAll();
+    EXPECT_EQ(fifo.maxFillBytes(), 0u);
+
+    fifo.push(pktOfBytes(100), 0);      // 118 -- well below 1018
+    EXPECT_EQ(fifo.maxFillBytes(), 118u);
+    EXPECT_EQ(fifo.pushCount(), 1u);    // counters restarted too
+}
+
+TEST(PacketFifo, ThresholdExactLanding)
+{
+    // Pin the documented edge semantics: a fill of exactly the high
+    // threshold is still "below"; a pop landing exactly on the low
+    // threshold does fire onDrained.
+    PacketFifo::Params params;
+    params.capacityBytes = 1000;
+    params.highThresholdBytes = 354;    // 3 x 118
+    params.lowThresholdBytes = 118;     // 1 x 118
+    PacketFifo fifo("f", params);
+
+    int above = 0, drained = 0;
+    fifo.onAboveThreshold = [&] { ++above; };
+    fifo.onDrained = [&] { ++drained; };
+
+    fifo.push(pktOfBytes(100), 0);
+    fifo.push(pktOfBytes(100), 0);
+    fifo.push(pktOfBytes(100), 0);      // fill == high: NOT above
+    EXPECT_EQ(above, 0);
+    EXPECT_TRUE(fifo.belowHighThreshold());
+
+    fifo.push(pktOfBytes(100), 0);      // 472 > 354: fires once
+    EXPECT_EQ(above, 1);
+    EXPECT_FALSE(fifo.belowHighThreshold());
+
+    fifo.pop();                         // 354: still above low, no fire
+    EXPECT_EQ(drained, 0);
+    fifo.pop();                         // 236 > 118: no fire
+    EXPECT_EQ(drained, 0);
+    fifo.pop();                         // exactly 118: fires
+    EXPECT_EQ(drained, 1);
+    fifo.pop();                         // 0: already below, no refire
+    EXPECT_EQ(drained, 1);
+
+    // Climbing back up re-arms the edge trigger.
+    fifo.push(pktOfBytes(100), 0);
+    fifo.push(pktOfBytes(100), 0);
+    fifo.push(pktOfBytes(100), 0);
+    fifo.push(pktOfBytes(100), 0);
+    EXPECT_EQ(above, 2);
 }
 
 } // namespace

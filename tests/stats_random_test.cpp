@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
+#include "sim/json.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 
@@ -35,6 +37,131 @@ TEST(Stats, DistributionMoments)
     EXPECT_DOUBLE_EQ(d.minValue(), 1.0);
     EXPECT_DOUBLE_EQ(d.maxValue(), 4.0);
     EXPECT_NEAR(d.stddev(), 1.118, 0.001);
+}
+
+TEST(Stats, DistributionStddevNoCancellation)
+{
+    // Regression: the old sum-of-squares formula computed
+    // sum(x^2)/n - mean^2, which cancels catastrophically when
+    // mean >> stddev -- for samples near 1e12 with unit spread the
+    // squares agree to ~24 digits and a double keeps ~16, so the
+    // subtraction returned garbage (often 0, sometimes NaN from a
+    // negative variance). Welford's update has no such subtraction.
+    stats::Distribution d("lat", "latency");
+    for (double off : {0.0, 1.0, 2.0})
+        d.sample(1e12 + off);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 1e12 + 1.0);
+    // Population stddev of {0,1,2} is sqrt(2/3).
+    EXPECT_NEAR(d.stddev(), std::sqrt(2.0 / 3.0), 1e-9);
+    EXPECT_FALSE(std::isnan(d.stddev()));
+}
+
+TEST(Stats, DistributionResetRestartsMoments)
+{
+    stats::Distribution d("lat", "latency");
+    d.sample(100.0);
+    d.sample(300.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 5.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 5.0);
+}
+
+TEST(Stats, PeakTracksAndResets)
+{
+    stats::Peak p("peak", "high-water mark");
+    p.observe(10.0);
+    p.observe(4.0);
+    EXPECT_DOUBLE_EQ(p.value(), 10.0);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.value(), 0.0);
+    p.observe(3.0);
+    EXPECT_DOUBLE_EQ(p.value(), 3.0);
+}
+
+TEST(Stats, HistogramLog2Buckets)
+{
+    EXPECT_EQ(stats::Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(stats::Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(stats::Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(stats::Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(stats::Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(stats::Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(stats::Histogram::bucketLow(1), 1u);
+    EXPECT_EQ(stats::Histogram::bucketLow(3), 4u);
+
+    stats::Histogram h("depth", "queue depth");
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 5.0);
+    ASSERT_GT(h.buckets().size(), 10u);
+    EXPECT_EQ(h.buckets()[0], 1u);      // the 0
+    EXPECT_EQ(h.buckets()[1], 1u);      // the 1
+    EXPECT_EQ(h.buckets()[2], 2u);      // 2 and 3
+    EXPECT_EQ(h.buckets()[10], 1u);     // 1000 in [512, 1024)
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Stats, GroupDumpJsonParses)
+{
+    stats::Group root("node0");
+    stats::Group child("nic", &root);
+    stats::Counter c("pkts", "packets sent");
+    stats::Distribution d("lat", "latency");
+    stats::Histogram h("depth", "queue depth");
+    child.addStat(&c);
+    child.addStat(&d);
+    child.addStat(&h);
+    c += 3;
+    d.sample(10.0);
+    d.sample(20.0);
+    h.sample(5);
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    json::Value v = json::parse(os.str());
+    ASSERT_TRUE(v.isObject());
+
+    const json::Value *pkts = v.find("node0.nic.pkts");
+    ASSERT_TRUE(pkts && pkts->isNumber());
+    EXPECT_DOUBLE_EQ(pkts->number, 3.0);
+
+    const json::Value *lat = v.find("node0.nic.lat");
+    ASSERT_TRUE(lat && lat->isObject());
+    EXPECT_DOUBLE_EQ(lat->find("mean")->number, 15.0);
+    EXPECT_DOUBLE_EQ(lat->find("count")->number, 2.0);
+
+    const json::Value *depth = v.find("node0.nic.depth");
+    ASSERT_TRUE(depth && depth->isObject());
+    const json::Value *buckets = depth->find("buckets");
+    ASSERT_TRUE(buckets && buckets->isArray());
+    ASSERT_EQ(buckets->arr.size(), 1u);
+    EXPECT_DOUBLE_EQ(buckets->arr[0].find("ge")->number, 4.0);
+    EXPECT_DOUBLE_EQ(buckets->arr[0].find("count")->number, 1.0);
+}
+
+TEST(Json, ParseRoundtrip)
+{
+    json::Value v = json::parse(
+        "{\"a\": 1.5, \"b\": [true, null, \"x\\n\"], \"c\": {}}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.find("a")->number, 1.5);
+    const json::Value *b = v.find("b");
+    ASSERT_TRUE(b && b->isArray());
+    ASSERT_EQ(b->arr.size(), 3u);
+    EXPECT_TRUE(b->arr[0].boolean);
+    EXPECT_EQ(b->arr[2].str, "x\n");
+    EXPECT_TRUE(v.find("c")->isObject());
+    EXPECT_THROW(json::parse("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(json::parse("[1, 2"), std::runtime_error);
 }
 
 TEST(Stats, EmptyDistributionIsSafe)

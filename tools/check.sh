@@ -1,6 +1,8 @@
 #!/bin/sh
-# Sanitizer gate: build the whole tree with ASan+UBSan and run the
-# test suite. Usage: tools/check.sh [build-dir] (default build-asan).
+# CI gate: build the whole tree with ASan+UBSan, run the test suite,
+# smoke-test the tracing pipeline, and validate every machine-readable
+# artifact against its schema.
+# Usage: tools/check.sh [build-dir] (default build-asan).
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -17,4 +19,22 @@ ASAN_OPTIONS=detect_leaks=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     ctest --output-on-failure -j "$(nproc)"
 
-echo "check.sh: sanitizer build + tests passed"
+# Trace-enabled smoke run (under the sanitizers): record a full
+# 2-node workload trace + stats dump and validate both schemas.
+./tools/shrimp_explore stats \
+    --trace-out check_trace.json --stats-json check_stats.json \
+    > /dev/null
+./tools/shrimp_validate trace check_trace.json
+./tools/shrimp_validate stats check_stats.json
+
+# Every benchmark binary must emit a schema-valid BENCH_<name>.json.
+# One fast case per binary keeps the gate quick; artifact writing is
+# independent of which cases run.
+cd "$build/bench"
+rm -f BENCH_*.json
+./bench_latency --benchmark_filter='EisaPrototype/1' > /dev/null
+./bench_bandwidth --benchmark_filter='EisaPrototype/16' > /dev/null
+./bench_mesh --benchmark_filter='ZeroLoadLatencyByHops/1' > /dev/null
+"$build/tools/shrimp_validate" bench BENCH_*.json
+
+echo "check.sh: sanitizer build + tests + artifact validation passed"

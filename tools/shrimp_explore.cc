@@ -4,19 +4,27 @@
  * what-if exploration without writing code.
  *
  * Usage:
- *   shrimp_explore latency   [--nextgen] [--hops N]
- *   shrimp_explore bandwidth [--nextgen] [--kb N]
+ *   shrimp_explore latency   [--nextgen] [--hops N] [--trace-out F]
+ *                            [--stats-json F]
+ *   shrimp_explore bandwidth [--nextgen] [--kb N] [--trace-out F]
+ *                            [--stats-json F]
  *   shrimp_explore table1
  *   shrimp_explore stats     [--nextgen] [--reliable] [--drop PERMILLE]
+ *                            [--trace-out F] [--stats-json F]
  *
  * `latency` and `bandwidth` reproduce the paper's Section 5.1 numbers
  * for arbitrary parameters; `table1` prints the software-overhead
  * table; `stats` runs a small workload and dumps every component's
  * statistics (bus transactions, cache hits, NIPT traffic, ...).
+ *
+ * --trace-out FILE records a packet-lifecycle event trace and writes
+ * it as Chrome trace-event JSON (open with ui.perfetto.dev);
+ * --stats-json FILE writes the statistics as one flat JSON object.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -48,13 +56,25 @@ argValue(int argc, char **argv, const char *flag, long fallback)
     return fallback;
 }
 
+const char *
+argString(int argc, char **argv, const char *flag)
+{
+    for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    }
+    return nullptr;
+}
+
 int
 cmdLatency(int argc, char **argv)
 {
     bool next_gen = hasFlag(argc, argv, "--nextgen");
     long hops = argValue(argc, argv, "--hops", 3);
     double us = bench_util::measureSingleWriteLatencyUs(
-        next_gen, static_cast<unsigned>(hops));
+        next_gen, static_cast<unsigned>(hops),
+        argString(argc, argv, "--trace-out"),
+        argString(argc, argv, "--stats-json"));
     std::printf("single-write automatic-update latency\n");
     std::printf("  datapath : %s\n",
                 next_gen ? "next-gen (Xpress-direct)"
@@ -71,7 +91,9 @@ cmdBandwidth(int argc, char **argv)
     bool next_gen = hasFlag(argc, argv, "--nextgen");
     long kb = argValue(argc, argv, "--kb", 64);
     auto r = bench_util::measureDeliberateBandwidth(
-        next_gen, static_cast<Addr>(kb) * 1024);
+        next_gen, static_cast<Addr>(kb) * 1024,
+        argString(argc, argv, "--trace-out"),
+        argString(argc, argv, "--stats-json"));
     std::printf("deliberate-update streaming bandwidth\n");
     std::printf("  datapath  : %s\n",
                 next_gen ? "next-gen (Xpress-direct)"
@@ -133,6 +155,9 @@ cmdStats(int argc, char **argv)
     cfg.ni.reliability.enabled = hasFlag(argc, argv, "--reliable");
     cfg.linkFaults.dropProb =
         argValue(argc, argv, "--drop", 0) / 1000.0;
+    const char *trace_out = argString(argc, argv, "--trace-out");
+    const char *stats_json = argString(argc, argv, "--stats-json");
+    cfg.traceEnabled = trace_out != nullptr;
     ShrimpSystem sys(cfg);
 
     Process *a = sys.kernel(0).createProcess("a");
@@ -160,6 +185,12 @@ cmdStats(int argc, char **argv)
     sys.runUntilAllExited();
     sys.runFor(cfg.ni.reliability.enabled ? 50 * ONE_MS : ONE_MS);
     sys.dumpStats(std::cout);
+    if (trace_out)
+        sys.tracer()->writeFile(trace_out);
+    if (stats_json) {
+        std::ofstream out(stats_json);
+        sys.dumpStatsJson(out);
+    }
     return 0;
 }
 
