@@ -1,0 +1,383 @@
+#include "core/chaos.hh"
+
+#include <sstream>
+
+#include "core/system.hh"
+#include "os/map_manager.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace shrimp
+{
+
+namespace
+{
+
+/** FNV-1a, the determinism probe over the final stats dump. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+fail(ChaosReport &report, std::string msg)
+{
+    report.ok = false;
+    report.violations.push_back(std::move(msg));
+}
+
+Router::Port
+oppositeOf(Router::Port p)
+{
+    switch (p) {
+      case Router::EAST: return Router::WEST;
+      case Router::WEST: return Router::EAST;
+      case Router::NORTH: return Router::SOUTH;
+      case Router::SOUTH: return Router::NORTH;
+      default: return Router::LOCAL;
+    }
+}
+
+} // namespace
+
+ChaosReport
+runChaos(const ChaosParams &p)
+{
+    ChaosReport report;
+    const unsigned n = p.meshWidth * p.meshHeight;
+    SHRIMP_ASSERT(n >= 2, "chaos soak needs at least two nodes");
+    const unsigned slots = ChaosParams::slots;
+
+    SystemConfig cfg;
+    cfg.meshWidth = p.meshWidth;
+    cfg.meshHeight = p.meshHeight;
+    cfg.traceEnabled = !p.tracePath.empty();
+    // The soak's whole point: reliable channels over a fault-tolerant
+    // mesh with liveness detection wired into every kernel.
+    cfg.ni.reliability.enabled = true;
+    cfg.router.faultTolerant = true;
+    cfg.health.enabled = true;
+    cfg.health.heartbeatPeriod = 100 * ONE_US;
+    cfg.health.suspectTimeout = 400 * ONE_US;
+    // Dead timeout above the longest link flap: a transient partition
+    // must not false-kill a live peer, only a real crash dies.
+    cfg.health.deadTimeout = p.maxFlapTicks + ONE_MS;
+
+    ShrimpSystem sys(cfg);
+    EventQueue &eq = sys.eventQueue();
+    Rng rng(p.seed);
+
+    // ---- one process per node, one mapped page per ordered pair ----
+    std::vector<Process *> procs(n);
+    std::vector<Addr> srcBase(n), dstBase(n);
+    for (NodeId id = 0; id < n; ++id) {
+        procs[id] = sys.kernel(id).createProcess("chaos");
+        srcBase[id] = procs[id]->allocate(n);
+        dstBase[id] = procs[id]->allocate(n);
+    }
+    auto pairIdx = [n](NodeId s, NodeId d) { return s * n + d; };
+    // Every third pair ships by deliberate DMA, the rest by
+    // automatic update, so both datapaths soak together.
+    auto deliberate = [](NodeId s, NodeId d) {
+        return (s + d) % 3 == 0;
+    };
+    std::vector<Addr> srcPaddr(n * n, 0);
+    for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            UpdateMode mode = deliberate(s, d)
+                                  ? UpdateMode::DELIBERATE
+                                  : UpdateMode::AUTO_SINGLE;
+            std::uint64_t e = sys.kernel(s).mapDirect(
+                *procs[s], srcBase[s] + d * PAGE_SIZE, 1,
+                sys.kernel(d), *procs[d], dstBase[d] + s * PAGE_SIZE,
+                mode);
+            SHRIMP_ASSERT(e == err::OK, "chaos boot mapping failed: ",
+                          e);
+            Translation t = procs[s]->space().translate(
+                srcBase[s] + d * PAGE_SIZE, true);
+            SHRIMP_ASSERT(t.ok(), "chaos source page not resident");
+            srcPaddr[pairIdx(s, d)] = t.paddr;
+        }
+    }
+
+    // ---- pre-draw the whole schedule from one seeded stream ----
+
+    // Traffic: writesPerPair stores per ordered pair, cycling through
+    // `slots` word offsets with a per-pair increasing value.
+    struct WriteEv
+    {
+        Tick at;
+        NodeId s, d;
+        std::uint32_t value;
+    };
+    std::vector<WriteEv> writes;
+    writes.reserve(static_cast<std::size_t>(n) * n * p.writesPerPair);
+    for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            for (unsigned k = 0; k < p.writesPerPair; ++k) {
+                writes.push_back(WriteEv{rng.below(p.duration), s, d,
+                                         k + 1});
+            }
+        }
+    }
+
+    // Crash/restart cycles. A cycle outlives the dead timeout so the
+    // peers' detectors must actually fire before the node returns.
+    std::vector<bool> crashedEver(n, false);
+    struct CrashEv
+    {
+        Tick down, up;
+        NodeId node;
+    };
+    std::vector<CrashEv> crashes;
+    for (unsigned i = 0; i < p.crashes; ++i) {
+        Tick len = cfg.health.deadTimeout + 3 * ONE_MS +
+                   rng.below(3 * ONE_MS);
+        if (len + 3 * ONE_MS >= p.duration)
+            len = p.duration / 2;
+        Tick at = rng.below(p.duration - len - 2 * ONE_MS);
+        NodeId victim = static_cast<NodeId>(rng.below(n));
+        crashes.push_back(CrashEv{at, at + len, victim});
+        crashedEver[victim] = true;
+    }
+
+    // Bidirectional transient link outages.
+    struct FlapEv
+    {
+        Tick down, up;
+        NodeId a, b;
+        Router::Port aPort;
+    };
+    std::vector<FlapEv> flaps;
+    for (unsigned i = 0; i < p.linkFlaps; ++i) {
+        NodeId a = static_cast<NodeId>(rng.below(n));
+        unsigned x = sys.backplane().xOf(a);
+        unsigned y = sys.backplane().yOf(a);
+        Router::Port ports[4];
+        unsigned nports = 0;
+        if (x + 1 < p.meshWidth)
+            ports[nports++] = Router::EAST;
+        if (x > 0)
+            ports[nports++] = Router::WEST;
+        if (y + 1 < p.meshHeight)
+            ports[nports++] = Router::SOUTH;
+        if (y > 0)
+            ports[nports++] = Router::NORTH;
+        Router::Port port = ports[rng.below(nports)];
+        NodeId b = a;
+        switch (port) {
+          case Router::EAST: b = a + 1; break;
+          case Router::WEST: b = a - 1; break;
+          case Router::SOUTH: b = a + p.meshWidth; break;
+          case Router::NORTH: b = a - p.meshWidth; break;
+          default: break;
+        }
+        Tick len = ONE_MS + rng.below(p.maxFlapTicks > ONE_MS
+                                          ? p.maxFlapTicks - ONE_MS
+                                          : 1);
+        Tick at = rng.below(p.duration > len ? p.duration - len : 1);
+        flaps.push_back(FlapEv{at, at + len, a, b, port});
+    }
+
+    // ---- install the schedule on the event queue ----
+
+    for (const WriteEv &w : writes) {
+        NodeId s = w.s, d = w.d;
+        Addr paddr = srcPaddr[pairIdx(s, d)] + (w.value - 1) % slots * 4;
+        std::uint32_t value = w.value;
+        bool dma = deliberate(s, d);
+        eq.scheduleFn(
+            [&sys, s, d, paddr, value, dma, &report]() {
+                if (sys.kernel(s).crashed())
+                    return;     // a dead CPU stores nothing
+                ++report.writesIssued;
+                if (dma) {
+                    // Deliberate update: store locally, then claim the
+                    // DMA engine for the whole slot region (a busy
+                    // engine ignores the start, as the hardware does).
+                    sys.node(s).mem.writeInt(paddr, value, 4);
+                    Addr base = pageBase(pageOf(paddr));
+                    std::uint32_t nwords = ChaosParams::slots;
+                    sys.node(s).bus.postWrite(
+                        sys.node(s).ni.cmdAddrFor(base), &nwords, 4,
+                        BusMaster::CPU, sys.curTick());
+                } else {
+                    sys.node(s).bus.postWrite(paddr, &value, 4,
+                                              BusMaster::CPU,
+                                              sys.curTick());
+                }
+            },
+            w.at, EventPriority::DEFAULT, "chaos write");
+    }
+    for (const CrashEv &c : crashes) {
+        NodeId victim = c.node;
+        eq.scheduleFn([&sys, victim,
+                       &report]() {
+            if (!sys.nodeCrashed(victim))
+                ++report.crashesInjected;
+            sys.crashNode(victim);
+        }, c.down, EventPriority::DEFAULT, "chaos crash");
+        eq.scheduleFn([&sys, victim]() { sys.restartNode(victim); },
+                      c.up, EventPriority::DEFAULT, "chaos restart");
+    }
+    for (const FlapEv &f : flaps) {
+        NodeId a = f.a, b = f.b;
+        Router::Port ap = f.aPort, bp = oppositeOf(f.aPort);
+        eq.scheduleFn([&sys, a, b, ap, bp, &report]() {
+            ++report.linkFlapsInjected;
+            sys.backplane().router(a).setLinkDead(ap, true);
+            sys.backplane().router(b).setLinkDead(bp, true);
+        }, f.down, EventPriority::DEFAULT, "chaos link down");
+        eq.scheduleFn([&sys, a, b, ap, bp]() {
+            sys.backplane().router(a).setLinkDead(ap, false);
+            sys.backplane().router(b).setLinkDead(bp, false);
+        }, f.up, EventPriority::DEFAULT, "chaos link up");
+    }
+
+    // ---- run: fault phase, forced healing, settle, quiesce ----
+
+    sys.runFor(p.duration);
+
+    for (NodeId id = 0; id < n; ++id) {
+        for (Router::Port port : {Router::EAST, Router::WEST, Router::NORTH,
+                          Router::SOUTH}) {
+            sys.backplane().router(id).setLinkDead(port, false);
+        }
+        sys.restartNode(id);
+    }
+    sys.runFor(p.settle);
+
+    // Stop the heartbeat clocks so "quiescent" is checkable: after a
+    // short drain nothing may remain in flight anywhere.
+    for (NodeId id = 0; id < n; ++id)
+        sys.kernel(id).health()->pause();
+    sys.runFor(3 * ONE_MS);
+    report.endTick = sys.curTick();
+
+    for (NodeId id = 0; id < n; ++id) {
+        Router &router = sys.backplane().router(id);
+        if (router.queuedPackets() != 0) {
+            fail(report, "router " + std::to_string(id) + " wedged: " +
+                             std::to_string(router.queuedPackets()) +
+                             " packets queued after settle");
+        }
+        ShrimpNi &ni = sys.node(id).ni;
+        if (!ni.outgoingFifo().empty() || !ni.incomingFifo().empty()) {
+            fail(report, "node " + std::to_string(id) +
+                             " NI FIFOs not drained after settle");
+        }
+        for (NodeId peer = 0; peer < n; ++peer) {
+            if (peer == id)
+                continue;
+            std::size_t fill =
+                ni.retransmitBuffer().windowFill(peer);
+            if (fill != 0) {
+                fail(report,
+                     "node " + std::to_string(id) + " still holds " +
+                         std::to_string(fill) +
+                         " unacked packets toward " +
+                         std::to_string(peer));
+            }
+        }
+    }
+
+    // ---- data invariants ----
+    for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            // A pair is checkable end-to-end only if no fault touched
+            // it: neither endpoint crashed, the channel never failed,
+            // and recovery never purged its mapping record.
+            bool mappingAlive = false;
+            for (const auto &rec :
+                 sys.kernel(s).mapManager().outRecords()) {
+                if (rec.pid == procs[s]->pid() &&
+                    rec.vpage == pageOf(srcBase[s] + d * PAGE_SIZE) &&
+                    rec.dstNode == d) {
+                    mappingAlive = true;
+                }
+            }
+            bool exact = !crashedEver[s] && !crashedEver[d] &&
+                         !sys.kernel(s).peerFailed(d) && mappingAlive &&
+                         !deliberate(s, d);
+
+            Translation dt = procs[d]->space().translate(
+                dstBase[d] + s * PAGE_SIZE, false);
+            if (!dt.ok()) {
+                fail(report, "destination page of pair " +
+                                 std::to_string(s) + "->" +
+                                 std::to_string(d) + " not resident");
+                continue;
+            }
+            for (unsigned j = 0; j < slots; ++j) {
+                auto v = static_cast<std::uint32_t>(
+                    sys.node(d).mem.readInt(dt.paddr + 4 * j, 4));
+                // Safety: a destination word is either untouched or a
+                // value the source really stored at this offset.
+                if (v != 0 && (v > p.writesPerPair ||
+                               (v - 1) % slots != j)) {
+                    fail(report,
+                         "pair " + std::to_string(s) + "->" +
+                             std::to_string(d) + " slot " +
+                             std::to_string(j) +
+                             " holds foreign value " +
+                             std::to_string(v));
+                }
+                if (!exact)
+                    continue;
+                // Liveness: an untouched pair's page converged to the
+                // source's final contents, exactly once and in order.
+                auto want = static_cast<std::uint32_t>(
+                    sys.node(s).mem.readInt(
+                        srcPaddr[pairIdx(s, d)] + 4 * j, 4));
+                if (v != want) {
+                    fail(report,
+                         "pair " + std::to_string(s) + "->" +
+                             std::to_string(d) + " slot " +
+                             std::to_string(j) + " ended at " +
+                             std::to_string(v) + ", source wrote " +
+                             std::to_string(want));
+                }
+            }
+            if (exact)
+                ++report.pairsVerifiedExact;
+        }
+    }
+
+    // ---- roll up counters and the determinism fingerprint ----
+    for (NodeId id = 0; id < n; ++id) {
+        HealthMonitor *h = sys.kernel(id).health();
+        report.heartbeatsSent += h->heartbeatsSent();
+        report.peersDeclaredDead += h->peersDeclaredDead();
+        report.peersRecovered += h->peersRecovered();
+        Router &router = sys.backplane().router(id);
+        report.misroutes += router.misroutes();
+        report.routeAroundDrops += router.routeAroundDrops();
+        RetransmitBuffer &rb =
+            sys.node(id).ni.retransmitBuffer();
+        report.retransmits +=
+            rb.timeoutRetransmits() + rb.nackRetransmits();
+    }
+
+    std::ostringstream stats;
+    sys.dumpStatsJson(stats);
+    report.statsFingerprint = fnv1a(stats.str());
+
+    if (!p.tracePath.empty() && sys.tracer())
+        sys.tracer()->writeFile(p.tracePath);
+
+    return report;
+}
+
+} // namespace shrimp

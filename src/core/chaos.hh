@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Chaos-soak harness: seeded randomized fault schedules (node
+ * crash/restart cycles, bidirectional link outages) applied to a mesh
+ * carrying mixed automatic-update traffic, with a global invariant
+ * checker run at the end:
+ *
+ *  - no corrupt or misdelivered data: every destination word is
+ *    either untouched or a value its source actually stored there;
+ *  - exactly-once in-order end state: pairs untouched by any fault
+ *    end with the destination page equal to the source page;
+ *  - eventual quiescence: once every link is revived and every node
+ *    restarted, all FIFOs, retransmit windows and router queues drain;
+ *  - determinism: the same seed produces the identical run (callers
+ *    compare statsFingerprint across repeats).
+ *
+ * The schedule is pre-drawn from one seeded Rng before simulation
+ * starts, so the event stream -- and therefore every statistic -- is a
+ * pure function of ChaosParams.
+ */
+
+#ifndef SHRIMP_CORE_CHAOS_HH
+#define SHRIMP_CORE_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** One chaos-soak run's knobs; everything defaults to a small soak. */
+struct ChaosParams
+{
+    std::uint64_t seed = 1;
+    unsigned meshWidth = 2;
+    unsigned meshHeight = 2;
+    /** Fault + traffic phase length. */
+    Tick duration = 30 * ONE_MS;
+    /** Recovery/drain phase after all faults are healed. */
+    Tick settle = 25 * ONE_MS;
+    /** Node crash/restart cycles injected across the run. */
+    unsigned crashes = 1;
+    /** Transient bidirectional link outages injected. */
+    unsigned linkFlaps = 3;
+    /** Longest link outage (short enough that retransmission or the
+     *  route-around path rides it out without failing the channel). */
+    Tick maxFlapTicks = 4 * ONE_MS;
+    /** Stores issued per ordered node pair, spread over duration. */
+    unsigned writesPerPair = 48;
+    /** Word slots cycled through within each pair's mapped page. */
+    static constexpr unsigned slots = 16;
+    /** Record an event trace and write it here ("" = no trace). */
+    std::string tracePath;
+};
+
+/** What a soak run observed; ok == violations.empty(). */
+struct ChaosReport
+{
+    bool ok = true;
+    std::vector<std::string> violations;
+
+    std::uint64_t writesIssued = 0;
+    std::uint64_t crashesInjected = 0;
+    std::uint64_t linkFlapsInjected = 0;
+    std::uint64_t heartbeatsSent = 0;
+    std::uint64_t peersDeclaredDead = 0;
+    std::uint64_t peersRecovered = 0;
+    std::uint64_t misroutes = 0;
+    std::uint64_t routeAroundDrops = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t pairsVerifiedExact = 0;
+    Tick endTick = 0;
+    /** FNV-1a over the final JSON stats dump: the determinism probe. */
+    std::uint64_t statsFingerprint = 0;
+};
+
+/** Run one seeded soak; never throws on invariant failure (report). */
+ChaosReport runChaos(const ChaosParams &params);
+
+} // namespace shrimp
+
+#endif // SHRIMP_CORE_CHAOS_HH

@@ -16,6 +16,7 @@
 #include "net/fault_model.hh"
 #include "net/router.hh"
 #include "nic/shrimp_ni.hh"
+#include "os/health.hh"
 #include "os/kernel.hh"
 #include "sim/types.hh"
 
@@ -47,6 +48,14 @@ struct SystemConfig
      * keep mapped pages coherent over the resulting lossy fabric.
      */
     FaultModel::Params linkFaults{};
+
+    /**
+     * Heartbeat-based failure detection (health.enabled): every
+     * kernel keepalives every peer and declares silent ones
+     * SUSPECT/DEAD, driving mapping teardown and recovery. Off by
+     * default; ShrimpSystem::crashNode needs it for peers to notice.
+     */
+    HealthParams health{};
 
     /**
      * Use the next-generation datapath: incoming packets bypass the

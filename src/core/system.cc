@@ -47,6 +47,31 @@ ShrimpSystem::ShrimpSystem(const SystemConfig &cfg) : _cfg(cfg)
             }
         }
     }
+
+    if (cfg.health.enabled) {
+        for (auto &node : _nodes)
+            node->kernel.enableHealth(cfg.health);
+    }
+}
+
+void
+ShrimpSystem::crashNode(NodeId id)
+{
+    Node &n = node(id);
+    if (n.kernel.crashed())
+        return;
+    n.kernel.crash();
+    n.ni.setCrashed(true);
+}
+
+void
+ShrimpSystem::restartNode(NodeId id)
+{
+    Node &n = node(id);
+    if (!n.kernel.crashed())
+        return;
+    n.ni.setCrashed(false);
+    n.kernel.restart();
 }
 
 void

@@ -47,6 +47,21 @@ class ShrimpSystem
     void startAll();
 
     /**
+     * Power-fail node @p id: its NI drops everything in flight and
+     * consumes (discards) arriving packets so the mesh never wedges,
+     * its CPU and failure detector stop. With config().health.enabled
+     * the peers declare it DEAD within the heartbeat dead timeout and
+     * tear down mappings toward it.
+     */
+    void crashNode(NodeId id);
+
+    /** Power the node back up: fresh NI/protocol state, scheduling
+     *  and heartbeats resume; peers recover it on its next keepalive. */
+    void restartNode(NodeId id);
+
+    bool nodeCrashed(NodeId id) { return kernel(id).crashed(); }
+
+    /**
      * Run until every process on every node has exited, a hard event
      * cap is hit, or time exceeds @p max_time.
      *

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "net/packet.hh"
+#include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
 
@@ -54,6 +55,38 @@ class FaultModel
         }
     };
 
+    /**
+     * Clamp out-of-range parameters to sane values, warning about each
+     * offender: probabilities outside [0,1] and a zero-length outage
+     * window with a nonzero linkDownProb (a no-op outage is always a
+     * config bug). Every constructor applies this, so a FaultModel can
+     * never run with silently meaningless parameters.
+     */
+    static Params
+    validated(Params p)
+    {
+        auto clampProb = [](double &v, const char *what) {
+            if (v < 0.0 || v > 1.0) {
+                double fixed = v < 0.0 ? 0.0 : 1.0;
+                SHRIMP_WARN("FaultModel: ", what, "=", v,
+                            " outside [0,1], clamping to ", fixed);
+                v = fixed;
+            }
+        };
+        clampProb(p.dropProb, "dropProb");
+        clampProb(p.corruptProb, "corruptProb");
+        clampProb(p.duplicateProb, "duplicateProb");
+        clampProb(p.reorderProb, "reorderProb");
+        clampProb(p.linkDownProb, "linkDownProb");
+        if (p.linkDownProb > 0.0 && p.linkDownTicks == 0) {
+            SHRIMP_WARN("FaultModel: linkDownTicks=0 with linkDownProb=",
+                        p.linkDownProb, " (outage would be a no-op), "
+                        "using the default window instead");
+            p.linkDownTicks = 100 * ONE_US;
+        }
+        return p;
+    }
+
     /** Verdict for one transmission. */
     enum class Action
     {
@@ -66,14 +99,28 @@ class FaultModel
     };
 
     FaultModel(const Params &params, std::uint64_t link_salt)
-        : _params(params),
-          _rng(params.seed ^ (link_salt * 0x9e3779b97f4a7c15ULL))
+        : _params(validated(params)),
+          _rng(_params.seed ^ (link_salt * 0x9e3779b97f4a7c15ULL))
     {}
 
     const Params &params() const { return _params; }
 
     /** Is the link inside an outage window at @p now? */
     bool linkDown(Tick now) const { return now < _downUntil; }
+
+    /**
+     * Has the link been continuously down for at least @p age ticks at
+     * @p now? Fault-tolerant routers use this to decide when a flap has
+     * lasted long enough to justify detouring around the link.
+     */
+    bool
+    downLongerThan(Tick now, Tick age) const
+    {
+        return linkDown(now) && now - _downSince >= age;
+    }
+
+    /** Start of the current outage window (valid while linkDown()). */
+    Tick downSince() const { return _downSince; }
 
     /**
      * Decide the fate of one packet transmitted at @p now. Each fault
@@ -87,6 +134,7 @@ class FaultModel
             return Action::LINK_DOWN;
         if (_params.linkDownProb > 0.0 &&
             _rng.chance(_params.linkDownProb)) {
+            _downSince = now;
             _downUntil = now + _params.linkDownTicks;
             return Action::LINK_DOWN;   // this packet is the casualty
         }
@@ -125,6 +173,7 @@ class FaultModel
     Params _params;
     Rng _rng;
     Tick _downUntil = 0;
+    Tick _downSince = 0;
 };
 
 } // namespace shrimp

@@ -42,6 +42,7 @@ struct NetPacket
         DATA = 0,   //!< payload destined for mapped memory
         ACK,        //!< cumulative acknowledgement (rseq = next expected)
         NACK,       //!< fast-retransmit request (rseq = missing seq)
+        HEARTBEAT,  //!< liveness keepalive (health service)
     };
 
     NodeId srcNode = INVALID_NODE;
@@ -58,6 +59,15 @@ struct NetPacket
     /** DATA: per src->dst sequence number. ACK: next expected seq
      *  (everything below it is acknowledged). NACK: the missing seq. */
     std::uint64_t rseq = 0;
+
+    // ---- adaptive-routing state (mutates per hop, so not CRC'd) ----
+    /** Set when a router detoured around a dead Y link: downstream
+     *  routers finish the Y dimension first so the packet cannot
+     *  bounce back over the failed column. Cleared by an X detour. */
+    bool yFirst = false;
+    /** Detours taken so far; routers drop past a small budget rather
+     *  than livelock between multiple failures. */
+    std::uint8_t misroutes = 0;
 
     // ---- simulation bookkeeping (not on the wire) ----
     Tick injectedAt = 0;        //!< when the source NIC injected it

@@ -71,6 +71,20 @@ class Router : public SimObject
         /** 16-bit-flit Paragon-style links; comfortably more than
          *  twice the EISA bottleneck, as the paper requires. */
         std::uint64_t linkBytesPerSec = 80'000'000;
+
+        /**
+         * Fault-tolerant routing: detour around links that are
+         * externally advertised dead (setLinkDead) or that the fault
+         * model has held down for longer than routeAroundAfter. Off by
+         * default: plain dimension-order, exactly the paper's fabric.
+         */
+        bool faultTolerant = false;
+        /** Outage age before a flapping link is routed around; shorter
+         *  flaps are left to the NI's retransmission layer. */
+        Tick routeAroundAfter = 200 * ONE_US;
+        /** Detours one packet may take before the router gives up and
+         *  drops it (livelock guard under multiple failures). */
+        unsigned misrouteBudget = 8;
     };
 
     Router(EventQueue &eq, std::string name, unsigned x, unsigned y,
@@ -120,6 +134,34 @@ class Router : public SimObject
 
     /** Fault model of output link @p out, or nullptr. */
     FaultModel *faultModel(Port out) { return _faults[out].get(); }
+
+    /**
+     * Externally advertise the output link behind @p out as dead (or
+     * alive again) -- the health service / backplane uses this when a
+     * peer or cable is known down. Only consulted in fault-tolerant
+     * mode. Reviving a link kicks the pipeline so parked traffic
+     * immediately retries the preferred route.
+     */
+    void setLinkDead(Port out, bool dead);
+
+    /** Is @p out externally advertised dead? */
+    bool linkDeadExternally(Port out) const { return _linkDeadExt[out]; }
+
+    std::uint64_t misroutes() const { return _misroutes.value(); }
+    std::uint64_t routeAroundDrops() const
+    {
+        return _routeAroundDrops.value();
+    }
+
+    /** Total packets parked in input queues (quiescence checks). */
+    std::size_t
+    queuedPackets() const
+    {
+        std::size_t n = 0;
+        for (const auto &in : _inputs)
+            n += in.queue.size();
+        return n;
+    }
 
     /**
      * Compatibility shim over setFaultModel(): flip one payload bit in
@@ -174,8 +216,26 @@ class Router : public SimObject
         std::vector<std::function<void()>> waiters;
     };
 
-    /** Dimension-order routing decision. */
-    Port routeOf(const NetPacket &pkt) const;
+    /**
+     * Routing decision for one packet. `out == NUM_PORTS` means no
+     * usable route exists (drop). A detour is only *applied* to the
+     * packet (yFirst flag, misroute budget) when the forward actually
+     * commits, so retries blocked on credit never burn the budget.
+     */
+    struct RouteDecision
+    {
+        Port out;
+        bool detour;        //!< out deviates from dimension order
+        bool yFirstAfter;   //!< yFirst value to stamp when detouring
+    };
+
+    /** Plain dimension-order preference (honoring pkt.yFirst). */
+    Port preferredPort(const NetPacket &pkt) const;
+
+    /** Can @p out carry traffic at @p now (fault-tolerant mode)? */
+    bool linkUsable(Port out, Tick now) const;
+
+    RouteDecision routeOf(const NetPacket &pkt, Tick now) const;
 
     /** Try to make forwarding progress on every input port. */
     void advance();
@@ -196,6 +256,7 @@ class Router : public SimObject
     std::function<void()> _injectWaiter;
     EventFunctionWrapper _advanceEvent;
     std::array<std::unique_ptr<FaultModel>, NUM_PORTS> _faults;
+    std::array<bool, NUM_PORTS> _linkDeadExt{};
 
     stats::Group _stats;
     stats::Counter _forwarded{"forwarded", "packets forwarded"};
@@ -215,6 +276,11 @@ class Router : public SimObject
                                   "packets delayed past successors"};
     stats::Counter _linkDownDrops{"linkDownDrops",
                                   "packets lost to link outage windows"};
+    stats::Counter _misroutes{"misroutes",
+                              "detours taken around dead links"};
+    stats::Counter _routeAroundDrops{
+        "routeAroundDrops",
+        "packets dropped with no usable route left"};
     stats::Histogram _queueDepth{
         "inQueueDepth", "input-port queue depth at header arrival"};
 };

@@ -22,14 +22,18 @@ DeliberateDma::DeliberateDma(EventQueue &eq, std::string name,
     _stats.addStat(&_bytes);
     _stats.addStat(&_rejectedStarts);
     _stats.addStat(&_fifoStalls);
+    _stats.addStat(&_aborts);
 }
 
 std::uint64_t
 DeliberateDma::statusRead(Addr src_paddr) const
 {
-    if (!_busy)
-        return dma_status::FREE;
-    return dma_status::encodeBusy(_wordsRemaining, src_paddr == _base);
+    if (_busy)
+        return dma_status::encodeBusy(_wordsRemaining,
+                                      src_paddr == _base);
+    if (_aborted && pageOf(src_paddr) == pageOf(_abortedBase))
+        return dma_status::ABORTED;
+    return dma_status::FREE;
 }
 
 bool
@@ -45,6 +49,7 @@ DeliberateDma::start(Addr src_paddr, std::uint32_t nwords)
                   src_paddr, " words=", nwords);
 
     _busy = true;
+    _aborted = false;   // the latched abort status is consumed
     _base = src_paddr;
     _cursor = src_paddr;
     _wordsRemaining = nwords;
@@ -69,15 +74,40 @@ DeliberateDma::kick()
 }
 
 void
+DeliberateDma::abort(const char *reason)
+{
+    if (!_busy)
+        return;
+    ++_aborts;
+    _aborted = true;
+    _abortedBase = _base;
+    _busy = false;
+    _wordsRemaining = 0;
+    ++_gen;
+    if (_chunkEvent.scheduled())
+        deschedule(_chunkEvent);
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "dma", "dmaAbort",
+                   {trace::arg("paddr", _abortedBase),
+                    trace::arg("reason", reason)});
+    }
+    SHRIMP_DTRACE("Nic", curTick(), name(), "transfer from ",
+                  _abortedBase, " aborted: ", reason);
+}
+
+void
 DeliberateDma::transferChunk()
 {
     SHRIMP_ASSERT(_busy, "chunk event while idle");
 
     OutLookup lookup = _hooks.lookupOut(_cursor);
-    SHRIMP_ASSERT(lookup.mapped &&
-                      lookup.mode == UpdateMode::DELIBERATE,
-                  "deliberate transfer from a page not mapped "
-                  "deliberate: addr=", _cursor);
+    if (!lookup.mapped || lookup.mode != UpdateMode::DELIBERATE) {
+        // The mapping vanished (or errored) mid-transfer -- the peer
+        // died or the kernel tore the page down. Not a simulator bug:
+        // abort and report it through the command-page status.
+        abort("mappingLost");
+        return;
+    }
 
     Addr bytes_left = Addr{_wordsRemaining} * wordBytes;
     Addr chunk = bytes_left;
@@ -122,8 +152,10 @@ DeliberateDma::transferChunk()
     // still in flight. Chunks are strictly sequential: the next
     // transferChunk() is scheduled from inside this completion.
     eventQueue().scheduleFn(
-        [this, dst, dst_addr, chunk,
+        [this, dst, dst_addr, chunk, gen = _gen,
          payload = std::move(payload)]() mutable {
+            if (gen != _gen)
+                return;     // aborted while the read was in flight
             _hooks.emitChunk(dst, dst_addr, std::move(payload));
             _cursor += chunk;
             _wordsRemaining -=

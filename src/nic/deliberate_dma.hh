@@ -38,6 +38,14 @@ constexpr unsigned REMAINING_SHIFT = 1;
 
 constexpr std::uint64_t FREE = 0;
 
+/**
+ * The last transfer from this page was aborted mid-flight (its
+ * mapping was torn down -- peer died -- or the node crashed).
+ * Distinct from FREE, every encodeBusy() value (those fit in 33
+ * bits) and the NI's statusMapError (~0).
+ */
+constexpr std::uint64_t ABORTED = ~std::uint64_t{0} - 1;
+
 constexpr std::uint64_t
 encodeBusy(std::uint32_t words_remaining, bool match)
 {
@@ -110,7 +118,16 @@ class DeliberateDma : public SimObject
     /** The outgoing FIFO freed space; resume a stalled transfer. */
     void kick();
 
+    /**
+     * Abort the in-flight transfer (mapping torn down or node crash):
+     * the engine frees immediately, no completion fires, and status
+     * reads from the source page report dma_status::ABORTED until the
+     * engine is claimed again. No-op when idle.
+     */
+    void abort(const char *reason);
+
     std::uint64_t transfersStarted() const { return _transfers.value(); }
+    std::uint64_t transfersAborted() const { return _aborts.value(); }
     std::uint64_t bytesTransferred() const { return _bytes.value(); }
     stats::Group &statGroup() { return _stats; }
 
@@ -126,6 +143,10 @@ class DeliberateDma : public SimObject
     Addr _base = 0;             //!< base address of current transfer
     Addr _cursor = 0;           //!< next byte to read
     std::uint32_t _wordsRemaining = 0;
+    bool _aborted = false;      //!< ABORTED status latch
+    Addr _abortedBase = 0;
+    /** Bumped on abort: orphans the in-flight chunk completion. */
+    std::uint64_t _gen = 0;
 
     EventFunctionWrapper _chunkEvent;
 
@@ -136,6 +157,8 @@ class DeliberateDma : public SimObject
                                    "start attempts while busy"};
     stats::Counter _fifoStalls{"fifoStalls",
                                "chunks stalled on outgoing FIFO space"};
+    stats::Counter _aborts{"aborts",
+                           "transfers aborted (mapping lost or crash)"};
 };
 
 } // namespace shrimp

@@ -136,6 +136,19 @@ class PacketFifo
         return pkt;
     }
 
+    /**
+     * Discard every queued packet (node crash / power fail). No
+     * threshold callback fires -- this is not a drain but a reset, and
+     * the owner is expected to rebuild its own flow-control state
+     * (accepting/stalled flags) alongside.
+     */
+    void
+    clear()
+    {
+        _items.clear();
+        _fillBytes = 0;
+    }
+
     std::uint64_t pushCount() const { return _pushes.value(); }
 
     /** Peak fill since construction or the last stats reset. */

@@ -25,6 +25,7 @@ RetransmitBuffer::RetransmitBuffer(EventQueue &eq, std::string name,
     _stats.addStat(&_packetsAcked);
     _stats.addStat(&_channelsFailed);
     _stats.addStat(&_maxBackoffExp);
+    _stats.addStat(&_peakRto);
 }
 
 std::uint64_t
@@ -184,9 +185,10 @@ RetransmitBuffer::timeout()
                  trace::arg("rseq", head.pkt.rseq),
                  trace::arg("try", head.retries)});
         }
-        ++st.backoffExp;
-        if (static_cast<double>(st.backoffExp) > _maxBackoffExp.value())
-            _maxBackoffExp = static_cast<double>(st.backoffExp);
+        if (st.backoffExp < _params.backoffExpCap)
+            ++st.backoffExp;
+        _maxBackoffExp.observe(static_cast<double>(st.backoffExp));
+        _peakRto.observe(static_cast<double>(rtoOf(st)));
         SHRIMP_DTRACE("Retx", now, name(), "timeout retransmit seq ",
                       head.pkt.rseq, " -> node ", dst, " try ",
                       head.retries, " rto ", rtoOf(st));
@@ -195,6 +197,23 @@ RetransmitBuffer::timeout()
         st.deadline = now + rtoOf(st);
     }
     rearm();
+}
+
+void
+RetransmitBuffer::forceFail(NodeId dst)
+{
+    TxState &st = _tx.at(dst);
+    if (!st.failed)
+        failChannel(dst, st);
+}
+
+void
+RetransmitBuffer::resetChannel(NodeId dst)
+{
+    _tx.at(dst) = TxState{};
+    rearm();
+    SHRIMP_DTRACE("Retx", curTick(), name(), "channel toward node ", dst,
+                  " reset");
 }
 
 void

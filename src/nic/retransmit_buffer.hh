@@ -50,6 +50,11 @@ struct ReliabilityParams
     Tick rtoBase = 50 * ONE_US;     //!< initial retransmission timeout
     Tick rtoMax = 5 * ONE_MS;       //!< backoff ceiling
     unsigned maxRetries = 8;        //!< per-packet cap before failure
+    /** Ceiling on the backoff exponent itself: consecutive timeouts
+     *  stop doubling the rto past this, independent of rtoMax (which
+     *  only clips the resulting timeout). Keeps recovery probes coming
+     *  at a bounded pace during long outages. */
+    unsigned backoffExpCap = 16;
 
     // ---- receiver (ShrimpNi) ----
     unsigned ackEvery = 4;          //!< cumulative-ACK coalescing count
@@ -105,6 +110,21 @@ class RetransmitBuffer : public SimObject
     /** Packets copies currently held for @p dst. */
     std::size_t windowFill(NodeId dst) const;
 
+    /**
+     * Declare @p dst failed on external evidence (the health service
+     * saw the peer die) without waiting for the retry cap. Drops the
+     * window and fires the failure hook, exactly like an exhausted
+     * retry budget. No-op if already failed.
+     */
+    void forceFail(NodeId dst);
+
+    /**
+     * Forget everything about @p dst -- window, sequence numbers,
+     * backoff, failed flag -- restoring the just-booted state. Used
+     * when a crashed peer rejoins (both sides restart from seq 0).
+     */
+    void resetChannel(NodeId dst);
+
     std::uint64_t timeoutRetransmits() const
     {
         return _retxTimeout.value();
@@ -114,6 +134,10 @@ class RetransmitBuffer : public SimObject
     {
         return _channelsFailed.value();
     }
+    /** Largest backoff exponent observed since the last stats reset. */
+    double peakBackoffExp() const { return _maxBackoffExp.value(); }
+    /** Largest backed-off rto (ticks) observed since the last reset. */
+    double peakRto() const { return _peakRto.value(); }
 
   private:
     struct Unacked
@@ -159,8 +183,10 @@ class RetransmitBuffer : public SimObject
                                  "window entries retired by ACKs"};
     stats::Counter _channelsFailed{"channelsFailed",
                                    "destinations declared unreachable"};
-    stats::Scalar _maxBackoffExp{"maxBackoffExp",
-                                 "largest backoff exponent reached"};
+    stats::Peak _maxBackoffExp{"maxBackoffExp",
+                               "largest backoff exponent reached"};
+    stats::Peak _peakRto{"peakRtoTicks",
+                         "largest backed-off retransmission timeout"};
 };
 
 } // namespace shrimp

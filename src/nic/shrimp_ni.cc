@@ -78,6 +78,8 @@ ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
     _stats.addStat(&_relOooDrops);
     _stats.addStat(&_relMappingsErrored);
     _stats.addStat(&_relDroppedFailed);
+    _stats.addStat(&_crashDrops);
+    _stats.addStat(&_heartbeatsForwarded);
     _stats.addStat(&_deliveryLatency);
     _stats.addStat(&_deliveryLatencyHist);
 
@@ -143,7 +145,7 @@ ShrimpNi::snoopWrite(Addr paddr, const void *buf, Addr len,
     // also appears on the memory bus, but forwarding it would echo
     // bidirectional mappings back and forth forever; the hardware's
     // outgoing datapath captures CPU cycles only.
-    if (master != BusMaster::CPU || !isDram(paddr))
+    if (_crashed || master != BusMaster::CPU || !isDram(paddr))
         return;
 
     OutLookup lookup = _nipt.lookupOut(paddr);
@@ -289,6 +291,9 @@ ShrimpNi::emitPacket(NodeId dst, Addr dst_addr,
 void
 ShrimpNi::tryInject()
 {
+    if (_crashed)
+        return;
+
     Tick now = curTick();
 
     // Control traffic (ACK/NACK/retransmissions) jumps the outgoing
@@ -308,9 +313,12 @@ ShrimpNi::tryInject()
         _nextInjectOk = now + _params.injectOverhead + ser;
         if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
             // A control-queue packet with a flow id is a
-            // retransmission of a traced DATA packet.
-            t->flowStep(now, name(), "packet", "retransmitInject",
-                        pkt.traceId, {trace::arg("rseq", pkt.rseq)});
+            // retransmission of a traced DATA packet. The original
+            // flow may already have ended (lost in the fabric, or a
+            // spurious timeout after delivery), so a retransmission
+            // re-opens the flow rather than stepping it.
+            t->flowBegin(now, name(), "packet", "retransmitInject",
+                         pkt.traceId, {trace::arg("rseq", pkt.rseq)});
         }
         _router.inject(std::move(pkt));
 
@@ -386,6 +394,8 @@ std::uint64_t
 ShrimpNi::busRead(Addr paddr, unsigned size)
 {
     (void)size;
+    if (_crashed)
+        return 0;
     Addr rel = paddr - _params.cmdBase;
     Addr off = pageOffset(rel);
     if (off >= ctrlRegionOffset)
@@ -403,6 +413,8 @@ ShrimpNi::busRead(Addr paddr, unsigned size)
 void
 ShrimpNi::busWrite(Addr paddr, const void *buf, Addr len)
 {
+    if (_crashed)
+        return;
     Addr rel = paddr - _params.cmdBase;
     Addr off = pageOffset(rel);
     PageNum page = pageOf(rel);
@@ -459,6 +471,17 @@ ShrimpNi::busWrite(Addr paddr, const void *buf, Addr len)
 void
 ShrimpNi::sinkDeliver(NetPacket &&pkt)
 {
+    if (_crashed) {
+        // Consume-and-discard: a dead node must not exert backpressure
+        // into the mesh, or one crash wedges every route through it.
+        ++_crashDrops;
+        if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+            t->flowEnd(curTick(), name(), "packet", "dropped",
+                       pkt.traceId, {trace::arg("reason", "crashed")});
+        }
+        return;
+    }
+
     // Verify the absolute mesh coordinates and the CRC (Section 3.1).
     bool coords_ok = pkt.dstX == _backplane.xOf(_node) &&
                      pkt.dstY == _backplane.yOf(_node);
@@ -483,6 +506,15 @@ ShrimpNi::sinkDeliver(NetPacket &&pkt)
             pkt.srcNode < _rx.size()) {
             sendNack(pkt.srcNode);
         }
+        return;
+    }
+
+    // Liveness keepalives feed the health service directly; they are
+    // meaningful even when the reliability layer is off.
+    if (pkt.reliable && pkt.kind == NetPacket::Kind::HEARTBEAT) {
+        ++_heartbeatsForwarded;
+        if (onHeartbeat)
+            onHeartbeat(pkt.srcNode);
         return;
     }
 
@@ -693,12 +725,9 @@ ShrimpNi::flushPendingAcks()
     }
 }
 
-void
-ShrimpNi::handleChannelFailure(NodeId dst)
+unsigned
+ShrimpNi::errorMappingsToward(NodeId dst)
 {
-    // Mark every outgoing mapping half toward dst errored: outgoing
-    // lookups stop matching (stores fall silent instead of feeding a
-    // dead window) and command-page status reads report the failure.
     unsigned halves = 0;
     for (PageNum page = 0; page < _nipt.numPages(); ++page) {
         NiptEntry &e = _nipt.entry(page);
@@ -714,14 +743,139 @@ ShrimpNi::handleChannelFailure(NodeId dst)
         }
     }
     _relMappingsErrored += halves;
+    return halves;
+}
+
+void
+ShrimpNi::handleChannelFailure(NodeId dst)
+{
+    // Mark every outgoing mapping half toward dst errored: outgoing
+    // lookups stop matching (stores fall silent instead of feeding a
+    // dead window) and command-page status reads report the failure.
+    unsigned halves = errorMappingsToward(dst);
     SHRIMP_WARN("reliability: node ", _node, " -> ", dst,
                 " unreachable; ", halves, " mapping halves errored");
+    // An in-flight deliberate transfer whose destination just errored
+    // would find its mapping gone at the next chunk anyway; fail it
+    // now so the command-page status flips without a polling delay.
+    if (_dma.busy()) {
+        OutLookup cur = _nipt.lookupOut(_dma.currentBase());
+        if (!cur.mapped || cur.dstNode == dst)
+            _dma.abort("peerDead");
+    }
     if (onMappingError)
         onMappingError(dst, halves);
     // Queued FIFO traffic toward dst is discarded lazily in
     // tryInject(); make sure it gets the chance.
     if (!_injectEvent.scheduled())
         reschedule(_injectEvent, curTick());
+}
+
+void
+ShrimpNi::sendHeartbeat(NodeId dst)
+{
+    if (_crashed)
+        return;
+    queueControl(makeControl(NetPacket::Kind::HEARTBEAT, dst, 0));
+}
+
+void
+ShrimpNi::declarePeerDead(NodeId dst)
+{
+    if (_params.reliability.enabled) {
+        // Fires handleChannelFailure through the failure hook unless
+        // the retry cap got there first.
+        _retx->forceFail(dst);
+        return;
+    }
+    unsigned halves = errorMappingsToward(dst);
+    if (_dma.busy()) {
+        OutLookup cur = _nipt.lookupOut(_dma.currentBase());
+        if (!cur.mapped || cur.dstNode == dst)
+            _dma.abort("peerDead");
+    }
+    if (halves && onMappingError)
+        onMappingError(dst, halves);
+}
+
+void
+ShrimpNi::resetChannel(NodeId peer)
+{
+    if (!_params.reliability.enabled)
+        return;
+    _retx->resetChannel(peer);
+    _rx.at(peer) = RxState{};
+}
+
+unsigned
+ShrimpNi::healMappingsToward(NodeId dst)
+{
+    unsigned healed = 0;
+    for (PageNum page = 0; page < _nipt.numPages(); ++page) {
+        NiptEntry &e = _nipt.entry(page);
+        if (e.outLow.valid() && e.outLow.error &&
+            e.outLow.dstNode == dst) {
+            e.outLow.error = false;
+            ++healed;
+        }
+        if (e.outHigh.valid() && e.outHigh.error &&
+            e.outHigh.dstNode == dst) {
+            e.outHigh.error = false;
+            ++healed;
+        }
+    }
+    return healed;
+}
+
+void
+ShrimpNi::setCrashed(bool crashed)
+{
+    if (_crashed == crashed)
+        return;
+    _crashed = crashed;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "ni",
+                   crashed ? "niCrash" : "niRestart", {});
+    }
+    if (crashed) {
+        // Power-fail: everything inside the chip is lost. The mesh
+        // keeps ejecting into us (sinkDeliver discards), so routers
+        // never back up behind a dead node.
+        ++_epoch;           // orphan any in-flight drain completion
+        _draining = false;
+        // Drop every retransmit window/deadline: a dead node must not
+        // keep its timer alive queueing retransmissions nobody sends.
+        if (_params.reliability.enabled) {
+            for (NodeId peer = 0; peer < _rx.size(); ++peer)
+                resetChannel(peer);
+        }
+        _ctrl.clear();
+        _outFifo.clear();
+        _inFifo.clear();
+        _merge.valid = false;
+        _merge.data.clear();
+        _dma.abort("crash");
+        _dmaWaitingForFifo = false;
+        _outAboveThreshold = false;
+        _accepting = true;
+        if (_mergeTimerEvent.scheduled())
+            deschedule(_mergeTimerEvent);
+        if (_ackEvent.scheduled())
+            deschedule(_ackEvent);
+        if (_injectEvent.scheduled())
+            deschedule(_injectEvent);
+        if (_drainEvent.scheduled())
+            deschedule(_drainEvent);
+        return;
+    }
+    // Restart: a freshly booted NI. All reliability channels restart
+    // from sequence 0 in both directions; peers resynchronize when
+    // their health service sees us recover and resets their side.
+    if (_params.reliability.enabled) {
+        for (NodeId peer = 0; peer < _rx.size(); ++peer)
+            resetChannel(peer);
+    }
+    _router.sinkReadyAgain();
 }
 
 void
@@ -801,7 +955,9 @@ ShrimpNi::drainIncoming()
                                             : "xpress")});
     }
     eventQueue().scheduleFn(
-        [this, count]() {
+        [this, count, epoch = _epoch]() {
+            if (epoch != _epoch)
+                return;     // the node crashed mid-burst
             _draining = false;
             for (std::size_t i = 0; i < count; ++i)
                 commitArrival(_inFifo.pop());

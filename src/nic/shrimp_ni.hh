@@ -161,6 +161,42 @@ class ShrimpNi : public SimObject,
      */
     std::function<void(NodeId dst, unsigned halves)> onMappingError;
 
+    /** A HEARTBEAT keepalive arrived (fed to the health service). */
+    std::function<void(NodeId src)> onHeartbeat;
+
+    // ---- liveness / failure support ----
+
+    /** Emit one HEARTBEAT toward @p dst via the control queue (jumps
+     *  the FIFO and the retransmit window; works with reliability off). */
+    void sendHeartbeat(NodeId dst);
+
+    /**
+     * Power-fail the chip (or bring it back). Crashed: all queued
+     * state is discarded and arriving packets are consumed-and-dropped
+     * -- the sink stays ready so the mesh drains instead of wedging.
+     * Un-crashing restores a freshly-booted NI (all reliability
+     * channels reset to sequence 0).
+     */
+    void setCrashed(bool crashed);
+    bool crashed() const { return _crashed; }
+
+    /**
+     * External (health-service) evidence that @p dst is down: fail its
+     * channel now instead of waiting out the retry cap. Marks every
+     * outgoing mapping half toward @p dst errored and fires
+     * onMappingError, exactly like an exhausted retry budget.
+     */
+    void declarePeerDead(NodeId dst);
+
+    /** Reset both reliability directions with @p peer to sequence 0
+     *  (used when a crashed peer rejoins). */
+    void resetChannel(NodeId peer);
+
+    /** Clear the error flag on surviving outgoing halves toward
+     *  @p dst (kernel-channel/NX wirings healed on peer recovery).
+     *  Returns the number of halves healed. */
+    unsigned healMappingsToward(NodeId dst);
+
     // ---- BusSnooper: the outgoing automatic-update datapath ----
     void snoopWrite(Addr paddr, const void *buf, Addr len,
                     BusMaster master) override;
@@ -282,6 +318,9 @@ class ShrimpNi : public SimObject,
     /** Retry-cap exhaustion: mark every mapping toward @p dst. */
     void handleChannelFailure(NodeId dst);
 
+    /** Mark every outgoing half toward @p dst errored; returns count. */
+    unsigned errorMappingsToward(NodeId dst);
+
     NodeId _node;
     Params _params;
     XpressBus &_bus;
@@ -313,6 +352,9 @@ class ShrimpNi : public SimObject,
     bool _outAboveThreshold = false;
     bool _corruptNext = false;
     bool _dmaWaitingForFifo = false;
+    bool _crashed = false;      //!< node power-failed (crashNode)
+    /** Bumped on crash: orphans in-flight drain-burst completions. */
+    std::uint64_t _epoch = 0;
     Tick _nextInjectOk = 0;
     std::uint64_t _nextSeq = 0;
 
@@ -360,6 +402,10 @@ class ShrimpNi : public SimObject,
         "relMappingsErrored", "mapping halves marked errored"};
     stats::Counter _relDroppedFailed{
         "relDroppedFailed", "packets dropped toward failed destinations"};
+    stats::Counter _crashDrops{
+        "crashDrops", "packets discarded while the node was crashed"};
+    stats::Counter _heartbeatsForwarded{
+        "heartbeatsForwarded", "HEARTBEAT packets accepted off the wire"};
     stats::Distribution _deliveryLatency{
         "deliveryLatency", "injection-to-memory latency (ticks)"};
     stats::Histogram _deliveryLatencyHist{

@@ -1,0 +1,176 @@
+#include "os/health.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace shrimp
+{
+
+const char *
+peerHealthName(PeerHealth s)
+{
+    switch (s) {
+      case PeerHealth::ALIVE:
+        return "ALIVE";
+      case PeerHealth::SUSPECT:
+        return "SUSPECT";
+      case PeerHealth::DEAD:
+        return "DEAD";
+    }
+    return "?";
+}
+
+HealthMonitor::HealthMonitor(EventQueue &eq, std::string name,
+                             NodeId self, unsigned num_nodes,
+                             const HealthParams &params, Hooks hooks,
+                             stats::Group *parent_stats)
+    : SimObject(eq, std::move(name)),
+      _params(params),
+      _self(self),
+      _peers(num_nodes),
+      _tickEvent([this] { tick(); }, "health tick"),
+      _hooks(std::move(hooks)),
+      _stats("health", parent_stats)
+{
+    SHRIMP_ASSERT(_params.heartbeatPeriod > 0, "zero heartbeat period");
+    SHRIMP_ASSERT(_params.suspectTimeout >= _params.heartbeatPeriod,
+                  "suspect timeout shorter than one heartbeat");
+    SHRIMP_ASSERT(_params.deadTimeout > _params.suspectTimeout,
+                  "dead timeout must exceed suspect timeout");
+    _stats.addStat(&_heartbeatsSent);
+    _stats.addStat(&_heartbeatsReceived);
+    _stats.addStat(&_suspects);
+    _stats.addStat(&_peersDeclaredDead);
+    _stats.addStat(&_peersRecovered);
+}
+
+void
+HealthMonitor::start()
+{
+    if (_running)
+        return;
+    _running = true;
+    Tick now = curTick();
+    for (PeerState &p : _peers)
+        p.lastSeen = now;       // grace period: nobody starts SUSPECT
+    reschedule(_tickEvent, now + _params.heartbeatPeriod);
+}
+
+void
+HealthMonitor::pause()
+{
+    if (!_running)
+        return;
+    _running = false;
+    if (_tickEvent.scheduled())
+        deschedule(_tickEvent);
+}
+
+void
+HealthMonitor::resume()
+{
+    if (_running)
+        return;
+    _running = true;
+    Tick now = curTick();
+    // Fresh grace period; peers we declared DEAD before (or while) we
+    // were down stay DEAD until their next heartbeat proves otherwise.
+    for (PeerState &p : _peers)
+        p.lastSeen = now;
+    reschedule(_tickEvent, now + _params.heartbeatPeriod);
+}
+
+void
+HealthMonitor::heartbeatFrom(NodeId src)
+{
+    if (!_running || src >= _peers.size() || src == _self)
+        return;
+    ++_heartbeatsReceived;
+    PeerState &p = _peers[src];
+    p.lastSeen = curTick();
+    if (p.state != PeerHealth::ALIVE)
+        transition(src, PeerHealth::ALIVE);
+}
+
+void
+HealthMonitor::reportPeerFailure(NodeId peer)
+{
+    if (!_running || peer >= _peers.size() || peer == _self)
+        return;
+    if (_peers[peer].state != PeerHealth::DEAD)
+        transition(peer, PeerHealth::DEAD);
+}
+
+PeerHealth
+HealthMonitor::peerState(NodeId peer) const
+{
+    return _peers.at(peer).state;
+}
+
+void
+HealthMonitor::tick()
+{
+    if (!_running)
+        return;
+    Tick now = curTick();
+
+    for (NodeId peer = 0; peer < _peers.size(); ++peer) {
+        if (peer == _self)
+            continue;
+        // Keep heartbeating DEAD peers too: a restarted node learns we
+        // are alive from our keepalives, just as we learn from its.
+        if (_hooks.sendHeartbeat) {
+            ++_heartbeatsSent;
+            _hooks.sendHeartbeat(peer);
+        }
+        PeerState &p = _peers[peer];
+        Tick silence = now - p.lastSeen;
+        if (p.state == PeerHealth::ALIVE &&
+            silence >= _params.suspectTimeout) {
+            transition(peer, PeerHealth::SUSPECT);
+        }
+        if (p.state == PeerHealth::SUSPECT &&
+            silence >= _params.deadTimeout) {
+            transition(peer, PeerHealth::DEAD);
+        }
+    }
+
+    reschedule(_tickEvent, now + _params.heartbeatPeriod);
+}
+
+void
+HealthMonitor::transition(NodeId peer, PeerHealth to)
+{
+    PeerState &p = _peers[peer];
+    PeerHealth from = p.state;
+    p.state = to;
+
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "health", "peerState",
+                   {trace::arg("peer", static_cast<std::uint64_t>(peer)),
+                    trace::arg("from", peerHealthName(from)),
+                    trace::arg("to", peerHealthName(to))});
+    }
+    SHRIMP_DTRACE("Health", curTick(), name(), "peer ", peer, " ",
+                  peerHealthName(from), " -> ", peerHealthName(to));
+
+    switch (to) {
+      case PeerHealth::SUSPECT:
+        ++_suspects;
+        break;
+      case PeerHealth::DEAD:
+        ++_peersDeclaredDead;
+        if (_hooks.peerDead)
+            _hooks.peerDead(peer);
+        break;
+      case PeerHealth::ALIVE:
+        if (from == PeerHealth::DEAD) {
+            ++_peersRecovered;
+            if (_hooks.peerRecovered)
+                _hooks.peerRecovered(peer);
+        }
+        break;
+    }
+}
+
+} // namespace shrimp

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * HealthMonitor: a kernel-level liveness/failure detector.
+ *
+ * The paper assumes live peers; the only failure signal the
+ * reproduction had was the NI's retry cap erroring mappings one by
+ * one. This service generalizes that into a real failure detector:
+ * every node periodically sends HEARTBEAT packets (NI control-queue
+ * traffic, bypassing the FIFO and retransmit window) to every peer,
+ * records a per-peer last-seen tick, and drives a three-state machine
+ *
+ *     ALIVE --silence >= suspectTimeout--> SUSPECT
+ *     SUSPECT --silence >= deadTimeout--> DEAD (peerDead hook fires)
+ *     DEAD --heartbeat arrives--> ALIVE (peerRecovered hook fires)
+ *
+ * External evidence (the retransmit layer exhausting its retry budget
+ * toward a peer) can short-circuit straight to DEAD. The kernel hooks
+ * peerDead/peerRecovered into mapping teardown and recovery.
+ */
+
+#ifndef SHRIMP_OS_HEALTH_HH
+#define SHRIMP_OS_HEALTH_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** Tunables of the liveness service. */
+struct HealthParams
+{
+    bool enabled = false;
+    /** Keepalive send (and timeout evaluation) period. */
+    Tick heartbeatPeriod = 100 * ONE_US;
+    /** Silence before a peer turns SUSPECT. */
+    Tick suspectTimeout = 400 * ONE_US;
+    /** Silence before a SUSPECT peer is declared DEAD. */
+    Tick deadTimeout = 1200 * ONE_US;
+};
+
+/** Liveness state of one peer as seen by this node. */
+enum class PeerHealth : std::uint8_t
+{
+    ALIVE = 0,
+    SUSPECT,
+    DEAD,
+};
+
+const char *peerHealthName(PeerHealth s);
+
+/** Per-node failure detector; one instance lives inside each Kernel. */
+class HealthMonitor : public SimObject
+{
+  public:
+    struct Hooks
+    {
+        /** Emit one HEARTBEAT packet toward @p peer. */
+        std::function<void(NodeId peer)> sendHeartbeat;
+        /** @p peer crossed into DEAD. */
+        std::function<void(NodeId peer)> peerDead;
+        /** A DEAD @p peer spoke again. */
+        std::function<void(NodeId peer)> peerRecovered;
+    };
+
+    HealthMonitor(EventQueue &eq, std::string name, NodeId self,
+                  unsigned num_nodes, const HealthParams &params,
+                  Hooks hooks, stats::Group *parent_stats);
+
+    /** Begin heartbeating; peers start with a full grace period. */
+    void start();
+
+    /** Local node crashed: stop sending and evaluating. */
+    void pause();
+
+    /** Local node restarted: resume with a fresh grace period. DEAD
+     *  peers stay DEAD until their next heartbeat actually arrives. */
+    void resume();
+
+    /** NI hook: a HEARTBEAT from @p src arrived. */
+    void heartbeatFrom(NodeId src);
+
+    /**
+     * External failure evidence (retry cap exhausted toward @p peer):
+     * declare it DEAD immediately instead of waiting out the silence.
+     */
+    void reportPeerFailure(NodeId peer);
+
+    PeerHealth peerState(NodeId peer) const;
+    bool peerDead(NodeId peer) const
+    {
+        return peerState(peer) == PeerHealth::DEAD;
+    }
+    bool running() const { return _running; }
+
+    std::uint64_t heartbeatsSent() const
+    {
+        return _heartbeatsSent.value();
+    }
+    std::uint64_t heartbeatsReceived() const
+    {
+        return _heartbeatsReceived.value();
+    }
+    std::uint64_t peersDeclaredDead() const
+    {
+        return _peersDeclaredDead.value();
+    }
+    std::uint64_t peersRecovered() const
+    {
+        return _peersRecovered.value();
+    }
+
+  private:
+    struct PeerState
+    {
+        Tick lastSeen = 0;
+        PeerHealth state = PeerHealth::ALIVE;
+    };
+
+    /** Periodic: send keepalives, then evaluate every peer's silence. */
+    void tick();
+
+    void transition(NodeId peer, PeerHealth to);
+
+    HealthParams _params;
+    NodeId _self;
+    std::vector<PeerState> _peers;
+    bool _running = false;
+    EventFunctionWrapper _tickEvent;
+    Hooks _hooks;
+
+    stats::Group _stats;
+    stats::Counter _heartbeatsSent{"heartbeatsSent",
+                                   "keepalive packets emitted"};
+    stats::Counter _heartbeatsReceived{"heartbeatsReceived",
+                                       "keepalive packets accepted"};
+    stats::Counter _suspects{"suspects",
+                             "peer transitions into SUSPECT"};
+    stats::Counter _peersDeclaredDead{"peersDeclaredDead",
+                                      "peer transitions into DEAD"};
+    stats::Counter _peersRecovered{"peersRecovered",
+                                   "DEAD peers that spoke again"};
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_OS_HEALTH_HH

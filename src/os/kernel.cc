@@ -42,6 +42,8 @@ Kernel::Kernel(EventQueue &eq, std::string name, NodeId node,
     _stats.addStat(&_pageEvictions);
     _stats.addStat(&_pageIns);
     _stats.addStat(&_mappingErrors);
+    _stats.addStat(&_crashes);
+    _stats.addStat(&_restarts);
 
     _cpu.setTrapHandler(this);
     _ni.onArrival = [this](PageNum page, Addr) {
@@ -58,6 +60,10 @@ Kernel::Kernel(EventQueue &eq, std::string name, NodeId node,
         _failedPeers.insert(dst);
         SHRIMP_WARN(this->name(), ": peer ", dst, " unreachable, ",
                     halves, " mapping halves errored");
+        // Retry-cap exhaustion is hard failure evidence: feed it to
+        // the detector so full teardown runs via the peerDead hook.
+        if (_health)
+            _health->reportPeerFailure(dst);
     };
 
     _mapManager = std::make_unique<MapManager>(*this);
@@ -388,6 +394,134 @@ Kernel::wireChannelOut(NodeId peer, PageNum remote_frame)
     _ni.nipt().entry(frame).outLow = m;
 }
 
+// ---------------------------------------------------------------------
+// Liveness and node-failure recovery
+// ---------------------------------------------------------------------
+
+void
+Kernel::enableHealth(const HealthParams &params)
+{
+    if (_health)
+        return;
+    HealthMonitor::Hooks hooks;
+    hooks.sendHeartbeat = [this](NodeId peer) {
+        _ni.sendHeartbeat(peer);
+    };
+    hooks.peerDead = [this](NodeId peer) { peerDied(peer); };
+    hooks.peerRecovered = [this](NodeId peer) { peerRecovered(peer); };
+    _health = std::make_unique<HealthMonitor>(
+        eventQueue(), name() + ".health", _node, _numNodes, params,
+        std::move(hooks), &_stats);
+    _ni.onHeartbeat = [this](NodeId src) {
+        _health->heartbeatFrom(src);
+    };
+    _health->start();
+}
+
+void
+Kernel::peerDied(NodeId peer)
+{
+    if (peer == _node || peer >= _numNodes)
+        return;
+    _failedPeers.insert(peer);
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "kernel", "peerDied",
+                   {trace::arg("peer",
+                               static_cast<std::uint64_t>(peer))});
+    }
+    // Error outgoing halves + abort DMA toward the peer, then stop
+    // tracking what it had mapped into us, and fail any kernel RPCs
+    // still waiting on it so blocked map()/unmap() callers wake up.
+    _ni.declarePeerDead(peer);
+    _mapManager->purgeDeadPeerIn(peer);
+    _mapManager->resetPeer(peer);
+}
+
+void
+Kernel::peerRecovered(NodeId peer)
+{
+    if (peer == _node || peer >= _numNodes)
+        return;
+    _failedPeers.erase(peer);
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "kernel", "peerRecovered",
+                   {trace::arg("peer",
+                               static_cast<std::uint64_t>(peer))});
+    }
+    // User mappings toward the peer died with it; the application
+    // must re-map. Kernel channel and NX wiring are permanent boot
+    // state, so heal those halves in place and restart both protocol
+    // engines from sequence zero to match the peer's fresh state.
+    _mapManager->purgeOutTo(peer);
+    _mapManager->resetPeer(peer);
+    _ni.healMappingsToward(peer);
+    _ni.resetChannel(peer);
+    if (peer < _channelIn.size() && _channelIn[peer] != INVALID_PAGE) {
+        // Stale seq words in the channel-in page would replay old
+        // RPCs against the reset engine.
+        std::vector<std::uint8_t> zeros(PAGE_SIZE, 0);
+        _mem.write(pageBase(_channelIn[peer]), zeros.data(),
+                   PAGE_SIZE);
+    }
+}
+
+void
+Kernel::crash()
+{
+    if (_crashed)
+        return;
+    _crashed = true;
+    ++_crashes;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "kernel", "nodeCrash", {});
+    }
+    if (_health)
+        _health->pause();
+    if (_quantumEvent.scheduled())
+        deschedule(_quantumEvent);
+    _quantumTarget = nullptr;
+    if (_running) {
+        // Park it; memory survives the crash in this model, so the
+        // process resumes from the same PC after restart.
+        _running->state = ProcState::READY;
+        _readyQueue.push_back(_running);
+        _running = nullptr;
+    }
+    _stalledOnOutFifo = false;
+    _cpu.setContext(nullptr);
+    _cpu.suspend();
+}
+
+void
+Kernel::restart()
+{
+    if (!_crashed)
+        return;
+    _crashed = false;
+    ++_restarts;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "kernel", "nodeRestart", {});
+    }
+    // Whatever protocol state predates the crash is garbage now: fail
+    // in-flight RPCs and restart every peer channel from scratch.
+    std::vector<std::uint8_t> zeros(PAGE_SIZE, 0);
+    for (NodeId peer = 0; peer < _numNodes; ++peer) {
+        if (peer == _node)
+            continue;
+        _mapManager->resetPeer(peer);
+        if (peer < _channelIn.size() &&
+            _channelIn[peer] != INVALID_PAGE) {
+            _mem.write(pageBase(_channelIn[peer]), zeros.data(),
+                       PAGE_SIZE);
+        }
+    }
+    if (_health)
+        _health->resume();
+    auto t = scheduleNext(curTick());
+    if (t)
+        _cpu.resumeAt(*t);
+}
+
 void
 Kernel::writeChannelWord(NodeId peer, Addr offset, std::uint32_t value)
 {
@@ -428,6 +562,9 @@ Kernel::mapDirectRange(Process &src_proc, Addr src_vaddr, Addr nbytes,
                        bool arrival_interrupt)
 {
     SHRIMP_ASSERT(nbytes > 0, "empty mapping");
+
+    if (peerFailed(dst_kernel.nodeId()) || dst_kernel.crashed())
+        return err::HOSTDOWN;
 
     // The whole walk is synchronous, so a B/E span brackets it
     // exactly; the args record what was asked, not what succeeded.

@@ -40,6 +40,7 @@
 
 #include "cpu/cpu.hh"
 #include "nic/shrimp_ni.hh"
+#include "os/health.hh"
 #include "os/process.hh"
 #include "os/syscalls.hh"
 #include "sim/sim_object.hh"
@@ -158,6 +159,50 @@ class Kernel : public SimObject, public TrapHandler
 
     /** Wire our outgoing channel to @p peer's mapped-in frame. */
     void wireChannelOut(NodeId peer, PageNum remote_frame);
+
+    // ---- liveness and node-failure recovery ----
+
+    /**
+     * Turn on the heartbeat-based failure detector: periodic
+     * keepalives to every peer, silence-driven SUSPECT/DEAD
+     * transitions, and full mapping teardown/recovery wired into the
+     * peerDead/peerRecovered hooks.
+     */
+    void enableHealth(const HealthParams &params);
+
+    /** The failure detector, or nullptr unless enableHealth ran. */
+    HealthMonitor *health() { return _health.get(); }
+
+    /**
+     * Peer @p peer is dead (heartbeat timeout or retransmit-cap
+     * evidence): error every NIPT mapping half toward it, abort
+     * in-flight deliberate DMA targeting it, drop its incoming
+     * mappings, and fail in-flight kernel RPCs with err::HOSTDOWN.
+     * Unrelated traffic keeps flowing. Idempotent.
+     */
+    void peerDied(NodeId peer);
+
+    /**
+     * A DEAD peer spoke again: clear its failed status, reset the
+     * reliability channel and RPC sequence state, heal kernel channel
+     * and NX wiring toward it, and drop errored user mappings so the
+     * application can re-map explicitly.
+     */
+    void peerRecovered(NodeId peer);
+
+    /**
+     * Power-fail this node: the CPU stops (the running process is
+     * parked back on the ready queue), the failure detector pauses,
+     * and pending quantum events die. The NI is crashed separately by
+     * ShrimpSystem::crashNode, which calls both.
+     */
+    void crash();
+
+    /** Undo crash(): reset per-peer protocol state (in-flight RPCs
+     *  fail with err::HOSTDOWN), resume heartbeating and scheduling. */
+    void restart();
+
+    bool crashed() const { return _crashed; }
 
     // ---- host-level (zero-cost) mapping, for tests and hardware
     //      benches that must not include protocol costs ----
@@ -344,6 +389,8 @@ class Kernel : public SimObject, public TrapHandler
 
     std::unique_ptr<MapManager> _mapManager;
     std::unique_ptr<NxService> _nxService;
+    std::unique_ptr<HealthMonitor> _health;
+    bool _crashed = false;
 
     stats::Group _stats;
     stats::Counter _switches{"contextSwitches", "context switches"};
@@ -358,6 +405,8 @@ class Kernel : public SimObject, public TrapHandler
     stats::Counter _mappingErrors{
         "mappingErrors",
         "mapping halves errored by the reliability layer"};
+    stats::Counter _crashes{"crashes", "node crash events"};
+    stats::Counter _restarts{"restarts", "node restart events"};
 
     /** Peers declared unreachable by the NI reliability layer. */
     std::set<NodeId> _failedPeers;

@@ -422,6 +422,12 @@ MapManager::startMap(Process &proc, const MapArgs &args,
         done(err::INVAL);
         return;
     }
+    if (_kernel.peerFailed(args.dstNode)) {
+        // The failure detector declared the destination dead; fail
+        // fast instead of letting the RPC time out silently.
+        done(err::HOSTDOWN);
+        return;
+    }
 
     auto op = std::make_shared<MapOp>();
     op->proc = &proc;
@@ -480,6 +486,12 @@ void
 MapManager::startUnmap(Process &proc, const MapArgs &args,
                        std::function<void(std::uint64_t)> done)
 {
+    if (args.dstNode < _kernel.numNodes() &&
+        _kernel.peerFailed(args.dstNode)) {
+        done(err::HOSTDOWN);
+        return;
+    }
+
     auto op = std::make_shared<MapOp>();
     op->proc = &proc;
     op->args = args;
@@ -596,6 +608,11 @@ MapManager::startRemap(Process &proc, PageNum vpage,
         }
     }
     SHRIMP_ASSERT(!targets->empty(), "remap with nothing to do");
+
+    if (_kernel.peerFailed(_out[targets->front()].dstNode)) {
+        done(err::HOSTDOWN);
+        return;
+    }
 
     auto pos = std::make_shared<std::size_t>(0);
     auto done_fn = std::make_shared<std::function<void(std::uint64_t)>>(
@@ -727,6 +744,80 @@ MapManager::releaseInMappings(PageNum frame)
     e.mappedIn = false;
     e.interruptOnArrival = false;
     e.inSources.clear();
+}
+
+// ---------------------------------------------------------------------
+// Node-failure recovery
+// ---------------------------------------------------------------------
+
+unsigned
+MapManager::purgeDeadPeerIn(NodeId peer)
+{
+    unsigned purged = 0;
+    for (auto it = _inByFrame.begin(); it != _inByFrame.end();) {
+        PageNum frame = it->first;
+        auto &recs = it->second;
+        for (auto rit = recs.begin(); rit != recs.end();) {
+            if (rit->srcNode != peer) {
+                ++rit;
+                continue;
+            }
+            if (rit->pinned)
+                _kernel.frames().unpin(frame);
+            rit = recs.erase(rit);
+            ++purged;
+        }
+        NiptEntry &e = _kernel.ni().nipt().entry(frame);
+        if (recs.empty()) {
+            e.mappedIn = false;
+            e.interruptOnArrival = false;
+            e.inSources.clear();
+            it = _inByFrame.erase(it);
+        } else {
+            e.inSources.clear();
+            for (const InRecord &r : recs)
+                e.inSources.push_back(r.srcNode);
+            ++it;
+        }
+    }
+    return purged;
+}
+
+unsigned
+MapManager::purgeOutTo(NodeId peer)
+{
+    unsigned dropped = 0;
+    for (auto it = _out.begin(); it != _out.end();) {
+        if (it->dstNode != peer) {
+            ++it;
+            continue;
+        }
+        PageNum frame = frameOf(it->pid, it->vpage);
+        if (frame != INVALID_PAGE && !it->invalidated)
+            clearOutHalf(frame, *it);
+        it = _out.erase(it);
+        ++dropped;
+    }
+    return dropped;
+}
+
+void
+MapManager::resetPeer(NodeId peer)
+{
+    PeerState &state = _peers.at(peer);
+    std::vector<KernelRpc> doomed;
+    if (state.inFlight)
+        doomed.push_back(std::move(state.current));
+    for (KernelRpc &rpc : state.queue)
+        doomed.push_back(std::move(rpc));
+    state = PeerState{};
+
+    std::uint32_t resp[channel::payloadWords] = {};
+    resp[0] = static_cast<std::uint32_t>(err::HOSTDOWN);
+    for (KernelRpc &rpc : doomed) {
+        if (rpc.onResponse)
+            rpc.onResponse(resp);
+    }
 }
 
 bool

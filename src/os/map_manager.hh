@@ -183,6 +183,37 @@ class MapManager
     /** Does local @p frame have incoming mappings? */
     bool hasInMappings(PageNum frame) const;
 
+    // ---- node-failure recovery (driven by Kernel::peerDied /
+    //      peerRecovered / restart) ----
+
+    /**
+     * Peer @p peer was declared dead: drop every incoming-mapping
+     * record it registered (unpinning frames and rebuilding NIPT
+     * source lists). Data can no longer arrive from it, and a
+     * rejoining peer must re-establish its mappings explicitly.
+     *
+     * @return records purged.
+     */
+    unsigned purgeDeadPeerIn(NodeId peer);
+
+    /**
+     * Drop every outgoing user mapping toward @p peer (its NIPT halves
+     * were errored when the peer died). Called on peer recovery: the
+     * application must re-map explicitly; kernel channel and NX wiring
+     * are healed separately by the NI.
+     *
+     * @return records dropped.
+     */
+    unsigned purgeOutTo(NodeId peer);
+
+    /**
+     * Reset the RPC engine toward @p peer: in-flight and queued RPCs
+     * complete with err::HOSTDOWN (waking any blocked map()/unmap()
+     * callers) and sequence numbers restart from scratch, matching a
+     * rejoining peer's fresh channel state.
+     */
+    void resetPeer(NodeId peer);
+
     /**
      * Drop every pin held on behalf of incoming mappings. Used at
      * kernel teardown, before process address spaces return their

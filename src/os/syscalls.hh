@@ -47,6 +47,7 @@ constexpr std::uint64_t NOPROC = 2;     //!< no such process
 constexpr std::uint64_t NOMEM = 3;      //!< out of frames
 constexpr std::uint64_t PERM = 4;       //!< protection check failed
 constexpr std::uint64_t AGAIN = 5;      //!< resource busy
+constexpr std::uint64_t HOSTDOWN = 6;   //!< peer declared dead
 } // namespace err
 
 /**

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "test_util.hh"
 
 namespace shrimp
@@ -315,6 +317,121 @@ TEST(Retransmit, CleanLinksNoRetransmissions)
     EXPECT_EQ(rx.nacksSent(), 0u);
     EXPECT_GT(rx.acksSent(), 0u);
     EXPECT_EQ(tx.acksReceived(), rx.acksSent());
+}
+
+TEST(Retransmit, BackoffExponentHonorsCap)
+{
+    // With a tiny exponent cap the rto must plateau at
+    // rtoBase << cap even though rtoMax would allow far more, and the
+    // Peak stats must record exactly that plateau.
+    FaultModel::Params faults;
+    faults.dropProb = 1.0;
+    SystemConfig cfg = faultyConfig(faults);
+    cfg.ni.reliability.rtoBase = 10 * ONE_US;
+    cfg.ni.reliability.rtoMax = 100 * ONE_MS;
+    cfg.ni.reliability.backoffExpCap = 3;
+    cfg.ni.reliability.maxRetries = 20;
+    ShrimpSystem sys(cfg);
+
+    Process *a = sys.kernel(0).createProcess("a");
+    Process *b = sys.kernel(1).createProcess("b");
+    Addr src = a->allocate(1);
+    Addr dst = b->allocate(1);
+    sys.kernel(0).mapDirect(*a, src, 1, sys.kernel(1), *b, dst,
+                            UpdateMode::AUTO_SINGLE);
+
+    Program pa("a");
+    pa.movi(R1, src);
+    pa.sti(R1, 0, 0xAB, 4);
+    pa.halt();
+    loadProgram(sys.kernel(0), *a, std::move(pa));
+    Program pb("b");
+    pb.halt();
+    loadProgram(sys.kernel(1), *b, std::move(pb));
+
+    sys.startAll();
+    ASSERT_TRUE(sys.runUntilAllExited());
+    sys.runFor(5 * ONE_MS);
+
+    auto &retx = sys.node(0).ni.retransmitBuffer();
+    EXPECT_GE(retx.timeoutRetransmits(), 8u);
+    EXPECT_EQ(retx.peakBackoffExp(), 3.0);
+    EXPECT_EQ(retx.peakRto(),
+              static_cast<double>(cfg.ni.reliability.rtoBase << 3));
+}
+
+TEST(Retransmit, AckNackRideOutLinkOutageTraced)
+{
+    // A link dies in the middle of an exchange and comes back later.
+    // Packets (including ACKs) sent into the outage are lost; the
+    // protocol must redeliver everything afterwards, and the event
+    // trace must show the outage and the recovery.
+    SystemConfig cfg = test::twoNodeConfig();
+    cfg.ni.reliability.enabled = true;
+    cfg.ni.reliability.rtoBase = 20 * ONE_US;
+    cfg.router.faultTolerant = true;    // dead links drop, not wedge
+    cfg.traceEnabled = true;
+    ShrimpSystem sys(cfg);
+    EventQueue &eq = sys.eventQueue();
+
+    Process *a = sys.kernel(0).createProcess("a");
+    Process *b = sys.kernel(1).createProcess("b");
+    Addr src = a->allocate(1);
+    Addr dst = b->allocate(1);
+    sys.kernel(0).mapDirect(*a, src, 1, sys.kernel(1), *b, dst,
+                            UpdateMode::AUTO_SINGLE);
+    Translation t = a->space().translate(src, true);
+    ASSERT_TRUE(t.ok());
+
+    // 24 host-driven stores: before, during, and after the outage.
+    constexpr unsigned kStores = 24;
+    for (unsigned i = 0; i < kStores; ++i) {
+        Tick at = i < 8    ? 10 * ONE_US + i * ONE_US
+                  : i < 16 ? 100 * ONE_US + (i - 8) * 20 * ONE_US
+                           : 500 * ONE_US + (i - 16) * ONE_US;
+        eq.scheduleFn(
+            [&sys, t, i]() {
+                std::uint32_t value = 0x600D0000u + i;
+                sys.node(0).bus.postWrite(t.paddr + 4 * i, &value, 4,
+                                          BusMaster::CPU,
+                                          sys.curTick());
+            },
+            at, EventPriority::DEFAULT, "store");
+    }
+    // Both directions die at 50us and recover at 400us: data packets
+    // and the ACK/NACK flow are interrupted mid-exchange.
+    eq.scheduleFn([&sys]() {
+        sys.backplane().router(0).setLinkDead(Router::EAST, true);
+        sys.backplane().router(1).setLinkDead(Router::WEST, true);
+    }, 50 * ONE_US, EventPriority::DEFAULT, "link down");
+    eq.scheduleFn([&sys]() {
+        sys.backplane().router(0).setLinkDead(Router::EAST, false);
+        sys.backplane().router(1).setLinkDead(Router::WEST, false);
+    }, 400 * ONE_US, EventPriority::DEFAULT, "link up");
+
+    sys.runFor(10 * ONE_MS);
+
+    // Exactly-once in-order delivery of every store despite the hole.
+    Translation td = b->space().translate(dst, false);
+    ASSERT_TRUE(td.ok());
+    for (unsigned i = 0; i < kStores; ++i) {
+        EXPECT_EQ(sys.node(1).mem.readInt(td.paddr + 4 * i, 4),
+                  0x600D0000u + i)
+            << "word " << i;
+    }
+    auto &retx = sys.node(0).ni.retransmitBuffer();
+    EXPECT_GT(retx.timeoutRetransmits() + retx.nackRetransmits(), 0u);
+    EXPECT_EQ(retx.channelsFailed(), 0u);
+
+    // The trace recorded the outage and the protocol's response.
+    ASSERT_NE(sys.tracer(), nullptr);
+    std::ostringstream json;
+    sys.tracer()->exportJson(json);
+    const std::string trace = json.str();
+    EXPECT_NE(trace.find("linkDead"), std::string::npos);
+    EXPECT_NE(trace.find("linkAlive"), std::string::npos);
+    EXPECT_NE(trace.find("retxTimeout"), std::string::npos);
+    EXPECT_NE(trace.find("ackSend"), std::string::npos);
 }
 
 } // namespace

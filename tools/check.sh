@@ -27,6 +27,22 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
 ./tools/shrimp_validate trace check_trace.json
 ./tools/shrimp_validate stats check_stats.json
 
+# Chaos soak under the sanitizers: fixed seeds, full invariant check,
+# traced, and a determinism probe (same seed twice -> same report).
+./tools/shrimp_explore chaos --seed 1 \
+    --json check_chaos1.json --trace-out check_chaos_trace.json \
+    > /dev/null
+./tools/shrimp_explore chaos --seed 1 --json check_chaos1b.json \
+    > /dev/null
+./tools/shrimp_explore chaos --seed 2 --json check_chaos2.json \
+    > /dev/null
+./tools/shrimp_validate chaos check_chaos1.json check_chaos2.json
+./tools/shrimp_validate trace check_chaos_trace.json
+cmp check_chaos1.json check_chaos1b.json || {
+    echo "check.sh: chaos soak is not deterministic" >&2
+    exit 1
+}
+
 # Every benchmark binary must emit a schema-valid BENCH_<name>.json.
 # One fast case per binary keeps the gate quick; artifact writing is
 # independent of which cases run.

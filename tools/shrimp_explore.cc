@@ -11,11 +11,19 @@
  *   shrimp_explore table1
  *   shrimp_explore stats     [--nextgen] [--reliable] [--drop PERMILLE]
  *                            [--trace-out F] [--stats-json F]
+ *   shrimp_explore chaos     [--seed N] [--width W] [--height H]
+ *                            [--duration-ms N] [--crashes N]
+ *                            [--flaps N] [--json F] [--trace-out F]
  *
  * `latency` and `bandwidth` reproduce the paper's Section 5.1 numbers
  * for arbitrary parameters; `table1` prints the software-overhead
  * table; `stats` runs a small workload and dumps every component's
  * statistics (bus transactions, cache hits, NIPT traffic, ...).
+ *
+ * `chaos` runs one seeded chaos-soak schedule (node crash/restart
+ * cycles and link flaps against mixed traffic) and checks the global
+ * invariants; exit status 0 iff they all hold. `--chaos` is accepted
+ * as an alias. --json FILE writes the machine-readable report.
  *
  * --trace-out FILE records a packet-lifecycle event trace and writes
  * it as Chrome trace-event JSON (open with ui.perfetto.dev);
@@ -29,6 +37,7 @@
 #include <string>
 
 #include "../bench/bench_util.hh"
+#include "core/chaos.hh"
 #include "core/table1.hh"
 
 using namespace shrimp;
@@ -194,6 +203,99 @@ cmdStats(int argc, char **argv)
     return 0;
 }
 
+int
+cmdChaos(int argc, char **argv)
+{
+    ChaosParams p;
+    p.seed =
+        static_cast<std::uint64_t>(argValue(argc, argv, "--seed", 1));
+    p.meshWidth =
+        static_cast<unsigned>(argValue(argc, argv, "--width", 2));
+    p.meshHeight =
+        static_cast<unsigned>(argValue(argc, argv, "--height", 2));
+    p.duration = static_cast<Tick>(
+                     argValue(argc, argv, "--duration-ms", 30)) *
+                 ONE_MS;
+    p.crashes =
+        static_cast<unsigned>(argValue(argc, argv, "--crashes", 1));
+    p.linkFlaps =
+        static_cast<unsigned>(argValue(argc, argv, "--flaps", 3));
+    if (const char *trace = argString(argc, argv, "--trace-out"))
+        p.tracePath = trace;
+
+    ChaosReport r = runChaos(p);
+
+    std::printf("chaos soak (seed %llu, %ux%u mesh, %llu ms)\n",
+                static_cast<unsigned long long>(p.seed), p.meshWidth,
+                p.meshHeight,
+                static_cast<unsigned long long>(p.duration / ONE_MS));
+    std::printf("  writes issued      : %llu\n",
+                static_cast<unsigned long long>(r.writesIssued));
+    std::printf("  crashes injected   : %llu\n",
+                static_cast<unsigned long long>(r.crashesInjected));
+    std::printf("  link flaps injected: %llu\n",
+                static_cast<unsigned long long>(r.linkFlapsInjected));
+    std::printf("  heartbeats sent    : %llu\n",
+                static_cast<unsigned long long>(r.heartbeatsSent));
+    std::printf("  peers died/recov.  : %llu / %llu\n",
+                static_cast<unsigned long long>(r.peersDeclaredDead),
+                static_cast<unsigned long long>(r.peersRecovered));
+    std::printf("  misroutes          : %llu\n",
+                static_cast<unsigned long long>(r.misroutes));
+    std::printf("  retransmits        : %llu\n",
+                static_cast<unsigned long long>(r.retransmits));
+    std::printf("  pairs exact        : %llu\n",
+                static_cast<unsigned long long>(r.pairsVerifiedExact));
+    std::printf("  stats fingerprint  : %016llx\n",
+                static_cast<unsigned long long>(r.statsFingerprint));
+    std::printf("  invariants         : %s\n",
+                r.ok ? "all hold" : "VIOLATED");
+    for (const std::string &v : r.violations)
+        std::printf("    ! %s\n", v.c_str());
+
+    if (const char *path = argString(argc, argv, "--json")) {
+        std::ofstream out(path);
+        out << "{\n  \"schema_version\": 1,\n  \"kind\": \"chaos\",\n";
+        out << "  \"seed\": " << p.seed << ",\n";
+        out << "  \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+        out << "  \"stats_fingerprint\": \"";
+        char fp[32];
+        std::snprintf(fp, sizeof(fp), "%016llx",
+                      static_cast<unsigned long long>(
+                          r.statsFingerprint));
+        out << fp << "\",\n";
+        out << "  \"violations\": [";
+        for (std::size_t i = 0; i < r.violations.size(); ++i) {
+            out << (i ? ", " : "") << '"';
+            for (char c : r.violations[i]) {
+                if (c == '"' || c == '\\')
+                    out << '\\';
+                out << c;
+            }
+            out << '"';
+        }
+        out << "],\n  \"counters\": {\n";
+        auto field = [&out](const char *key, std::uint64_t v,
+                            bool last = false) {
+            out << "    \"" << key << "\": " << v
+                << (last ? "\n" : ",\n");
+        };
+        field("writesIssued", r.writesIssued);
+        field("crashesInjected", r.crashesInjected);
+        field("linkFlapsInjected", r.linkFlapsInjected);
+        field("heartbeatsSent", r.heartbeatsSent);
+        field("peersDeclaredDead", r.peersDeclaredDead);
+        field("peersRecovered", r.peersRecovered);
+        field("misroutes", r.misroutes);
+        field("routeAroundDrops", r.routeAroundDrops);
+        field("retransmits", r.retransmits);
+        field("pairsVerifiedExact", r.pairsVerifiedExact);
+        field("endTick", r.endTick, true);
+        out << "  }\n}\n";
+    }
+    return r.ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -201,7 +303,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s {latency|bandwidth|table1|stats} "
+                     "usage: %s {latency|bandwidth|table1|stats|chaos} "
                      "[options]\n",
                      argv[0]);
         return 2;
@@ -215,6 +317,8 @@ main(int argc, char **argv)
         return cmdTable1();
     if (cmd == "stats")
         return cmdStats(argc, argv);
+    if (cmd == "chaos" || cmd == "--chaos")
+        return cmdChaos(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;
 }

@@ -7,6 +7,7 @@
  *   shrimp_validate trace FILE...     Chrome trace-event JSON
  *   shrimp_validate bench FILE...     BENCH_<name>.json results
  *   shrimp_validate stats FILE...     flat stats JSON object
+ *   shrimp_validate chaos FILE...     chaos-soak report JSON
  *
  * Exit status 0 iff every file parses and conforms.
  */
@@ -151,6 +152,53 @@ validateStats(const std::string &file, const Value &root)
     }
 }
 
+/** Chaos-soak report written by `shrimp_explore chaos --json`. */
+void
+validateChaos(const std::string &file, const Value &root)
+{
+    if (!root.isObject())
+        return fail(file, "chaos root is not an object");
+    const Value *ver = root.find("schema_version");
+    if (!ver || !ver->isNumber() || ver->number != 1)
+        return fail(file, "schema_version != 1");
+    const Value *kind = root.find("kind");
+    if (!kind || !kind->isString() || kind->str != "chaos")
+        return fail(file, "kind != \"chaos\"");
+    const Value *seed = root.find("seed");
+    if (!seed || !seed->isNumber())
+        return fail(file, "missing numeric seed");
+    const Value *ok = root.find("ok");
+    if (!ok || !ok->isBool())
+        return fail(file, "missing boolean ok");
+    const Value *fp = root.find("stats_fingerprint");
+    if (!fp || !fp->isString() || fp->str.size() != 16)
+        return fail(file, "stats_fingerprint is not 16 hex chars");
+    const Value *violations = root.find("violations");
+    if (!violations || !violations->isArray())
+        return fail(file, "missing violations array");
+    for (std::size_t i = 0; i < violations->arr.size(); ++i) {
+        if (!violations->arr[i].isString())
+            return fail(file, "violations[" + std::to_string(i) +
+                                  "] is not a string");
+    }
+    // A report may only claim success with zero violations.
+    if (ok->boolean && !violations->arr.empty())
+        return fail(file, "ok is true but violations are present");
+    const Value *counters = root.find("counters");
+    if (!counters || !counters->isObject())
+        return fail(file, "missing counters object");
+    for (const char *key :
+         {"writesIssued", "crashesInjected", "linkFlapsInjected",
+          "heartbeatsSent", "peersDeclaredDead", "peersRecovered",
+          "misroutes", "routeAroundDrops", "retransmits",
+          "pairsVerifiedExact", "endTick"}) {
+        const Value *c = counters->find(key);
+        if (!c || !c->isNumber())
+            return fail(file,
+                        std::string("counters.") + key + " missing");
+    }
+}
+
 } // namespace
 
 int
@@ -158,11 +206,13 @@ main(int argc, char **argv)
 {
     if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: %s {trace|bench|stats} FILE...\n", argv[0]);
+                     "usage: %s {trace|bench|stats|chaos} FILE...\n",
+                     argv[0]);
         return 2;
     }
     std::string mode = argv[1];
-    if (mode != "trace" && mode != "bench" && mode != "stats") {
+    if (mode != "trace" && mode != "bench" && mode != "stats" &&
+        mode != "chaos") {
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         return 2;
     }
@@ -185,6 +235,8 @@ main(int argc, char **argv)
             validateTrace(path, root);
         else if (mode == "bench")
             validateBench(path, root);
+        else if (mode == "chaos")
+            validateChaos(path, root);
         else
             validateStats(path, root);
         if (g_errors == 0)
