@@ -63,23 +63,6 @@ Router::setFaultModel(Port out, const FaultModel::Params &params)
 }
 
 void
-Router::setErrorInjection(double per_packet_prob, std::uint64_t seed)
-{
-    static bool warned = false;
-    if (!warned) {
-        warned = true;
-        SHRIMP_WARN("Router::setErrorInjection is deprecated; configure "
-                    "SystemConfig::linkFaults (or setFaultModel) "
-                    "instead");
-    }
-    FaultModel::Params params;
-    params.corruptProb = per_packet_prob;
-    params.seed = seed;
-    for (unsigned p = LOCAL + 1; p < NUM_PORTS; ++p)
-        setFaultModel(static_cast<Port>(p), params);
-}
-
-void
 Router::connect(Port out, Router *nbr, Port nbr_in)
 {
     SHRIMP_ASSERT(out != LOCAL, "cannot wire the local port");

@@ -163,16 +163,6 @@ class Router : public SimObject
         return n;
     }
 
-    /**
-     * Compatibility shim over setFaultModel(): flip one payload bit in
-     * forwarded packets with probability @p per_packet_prob
-     * (deterministic given @p seed) on every output link. The
-     * receiving NI's CRC check must catch every one (Section 3.1);
-     * without the reliability layer, corrupted packets are dropped and
-     * counted, never delivered.
-     */
-    void setErrorInjection(double per_packet_prob, std::uint64_t seed);
-
     /** Corrupted-packet count (the historical error-injection stat). */
     std::uint64_t errorsInjected() const { return _faultCorrupts.value(); }
 

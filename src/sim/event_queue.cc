@@ -27,6 +27,8 @@ EventQueue::~EventQueue()
     for (Event *ev : _liveOneShots) {
         ev->_scheduled = false;     // bypass the dtor's queue access
         ev->_queue = nullptr;
+        // The queue owns unfired one-shots (autoDelete() contract).
+        // NOLINTNEXTLINE(shrimp-ownership-raw-new): queue-owned event
         delete ev;
     }
 }
@@ -65,6 +67,8 @@ EventQueue::deschedule(Event *ev)
     --_liveCount;
     if (ev->autoDelete()) {
         forgetOneShot(ev);
+        // autoDelete() hands cancelled one-shots to the queue.
+        // NOLINTNEXTLINE(shrimp-ownership-raw-new): queue-owned event
         delete ev;
     }
 }
@@ -89,6 +93,9 @@ EventQueue::scheduleFn(std::function<void()> fn, Tick when, int priority,
         bool autoDelete() const override { return true; }
     };
 
+    // Ownership passes to the queue, which reclaims the event when
+    // it fires (autoDelete() contract).
+    // NOLINTNEXTLINE(shrimp-ownership-raw-new): queue-owned event
     schedule(new OneShot(std::move(fn), desc), when, priority);
 }
 
@@ -127,6 +134,8 @@ EventQueue::runOne()
     // one-shot events, which by contract never reschedule.
     if (auto_delete) {
         forgetOneShot(ev);
+        // Fired one-shots are queue-owned (autoDelete() contract).
+        // NOLINTNEXTLINE(shrimp-ownership-raw-new): queue-owned event
         delete ev;
     }
     return true;

@@ -1,6 +1,7 @@
 #include "sim/trace.hh"
 
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 
 #include "sim/json.hh"
@@ -108,7 +109,19 @@ Tracer::exportJson(std::ostream &os) const
         }
         os << "}";
     }
-    os << "\n]}\n";
+    os << "\n]";
+
+    // Capture wall-time stamp, so a directory of trace files can be
+    // told apart. This is the one sanctioned wall-clock read in src/
+    // (shrimp_lint allowlist): it is viewer metadata appended after
+    // the event stream and can never feed back into simulation state
+    // or the stats fingerprints.
+    std::time_t now = std::time(nullptr);
+    char stamp[32] = "unknown";
+    if (std::tm *utc = std::gmtime(&now))
+        std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", utc);
+    os << ",\"otherData\":{\"capturedAt\":\"" << stamp << "\"}";
+    os << "}\n";
 }
 
 bool

@@ -99,8 +99,9 @@ TEST(ConsistencyStress, PagingStormUnderLiveTraffic)
     // currently be in swap on the destination; page them in first.
     for (unsigned p = 0; p < kPages; ++p) {
         PageNum vpage = pageOf(dst) + p;
-        if (sys.kernel(1).inSwap(b->pid(), vpage))
+        if (sys.kernel(1).inSwap(b->pid(), vpage)) {
             ASSERT_EQ(sys.kernel(1).pageIn(*b, vpage), err::OK);
+        }
     }
     for (const auto &[off, value] : expected) {
         EXPECT_EQ(peek32(sys, 1, *b, dst + off), value)
@@ -155,8 +156,9 @@ TEST(ConsistencyStress, RepeatedEvictRemapCycles)
 
     EXPECT_GE(sys.kernel(0).mapManager().remapsCompleted(), 3u);
 
-    if (sys.kernel(1).inSwap(b->pid(), pageOf(dst)))
+    if (sys.kernel(1).inSwap(b->pid(), pageOf(dst))) {
         ASSERT_EQ(sys.kernel(1).pageIn(*b, pageOf(dst)), err::OK);
+    }
     for (int i = 1; i <= kCycles; ++i)
         EXPECT_EQ(peek32(sys, 1, *b, dst + 4 * i),
                   static_cast<std::uint32_t>(i))

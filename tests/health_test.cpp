@@ -41,8 +41,9 @@ TEST(Health, SteadyStateAllAlive)
         EXPECT_GT(h->heartbeatsReceived(), 0u);
         EXPECT_EQ(h->peersDeclaredDead(), 0u);
         for (NodeId peer = 0; peer < sys.numNodes(); ++peer) {
-            if (peer != id)
+            if (peer != id) {
                 EXPECT_EQ(h->peerState(peer), PeerHealth::ALIVE);
+            }
         }
     }
 }

@@ -1,0 +1,22 @@
+// Wall-clock reads leaking into simulation behavior: two runs with
+// the same seed would diverge. Simulated time is curTick().
+#include <ctime>
+
+long
+wallStamp()
+{
+    return time(nullptr);
+}
+
+long
+cpuStamp()
+{
+    return clock() / 1000;
+}
+
+double
+monotonicSeconds()
+{
+    // Chrono clock types are banned by name.
+    return std::chrono::steady_clock::period::den * 0.0;
+}

@@ -1,0 +1,22 @@
+// Unseeded library randomness: irreproducible runs; chaos-soak
+// fingerprints would differ between identical seeds.
+#include <cstdlib>
+
+int
+jitterBytes()
+{
+    return std::rand() % 64;
+}
+
+int
+pickLane()
+{
+    return rand() % 4;
+}
+
+struct EntropyTap
+{
+    // Hardware entropy is the canonical determinism leak; the type
+    // alone is banned, not just its operator().
+    std::random_device tap;
+};

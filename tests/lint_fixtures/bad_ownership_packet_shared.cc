@@ -1,0 +1,15 @@
+// NetPacket ref-counting outside src/nic/ and src/net/: the packet
+// arena refactor (ROADMAP item 1) owns this type's lifetime, and
+// stray shared_ptr handles elsewhere would pin pooled packets.
+#include <memory>
+
+struct NetPacket
+{
+    int bytes;
+};
+
+std::shared_ptr<NetPacket>
+stash()
+{
+    return std::make_shared<NetPacket>();
+}

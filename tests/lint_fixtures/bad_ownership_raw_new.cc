@@ -1,0 +1,25 @@
+// Owning raw allocation: leaks on every early return and hides
+// lifetime from the reader; the codebase standard is unique_ptr or
+// an arena/pool.
+struct Buffer
+{
+    int fill;
+};
+
+Buffer *
+grab()
+{
+    return new Buffer;
+}
+
+void
+drop(Buffer *b)
+{
+    delete b;
+}
+
+char *
+scratch(unsigned long n)
+{
+    return static_cast<char *>(malloc(n));
+}

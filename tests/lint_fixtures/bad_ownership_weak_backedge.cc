@@ -1,0 +1,17 @@
+// A shared_ptr member named like a back-edge: child keeping the
+// parent alive forms a reference cycle, the exact leak class the
+// PR-3 sanitizer gate caught. Back-edges should be weak_ptr (or a
+// raw observer when lifetime is externally guaranteed).
+#include <memory>
+
+struct MeshColumn;
+
+struct MeshCell
+{
+    std::shared_ptr<MeshColumn> _parentColumn;
+};
+
+struct FifoSlot
+{
+    std::shared_ptr<MeshCell> ownerCell;
+};

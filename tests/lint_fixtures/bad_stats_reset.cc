@@ -1,0 +1,22 @@
+// A Stat subclass without reset(): Group::resetAll() silently skips
+// it, so warmup-window resets leave stale values behind -- the exact
+// bug PacketFifo's peak-fill stat had before PR 2.
+struct Stat
+{
+    virtual ~Stat();
+    virtual void reset() = 0;
+};
+
+class LeakyPeak : public Stat
+{
+  public:
+    void
+    observe(double v)
+    {
+        if (v > _peak)
+            _peak = v;
+    }
+
+  private:
+    double _peak = 0.0;
+};

@@ -1,0 +1,8 @@
+// A shrimp NOLINT with no stated reason: the suppression is inert
+// (the underlying rule still fires where violated) and is itself a
+// finding. Reviewers need the why, not just the waiver.
+int
+stride()
+{
+    return 7;   // NOLINT(shrimp-tick-narrowing)
+}

@@ -1,0 +1,26 @@
+// Tick is 64-bit picoseconds: one millisecond of simulated time is
+// 1e9 ticks, so a 32-bit value overflows after ~4.3 ms and deadlines
+// silently land in the past.
+using Tick = unsigned long long;
+
+Tick curTick();
+Tick lastTick = 0;
+
+unsigned
+deadlineLow()
+{
+    return static_cast<unsigned>(curTick());
+}
+
+int
+wrapHalf()
+{
+    return (int)(curTick() / 2);
+}
+
+void
+record()
+{
+    unsigned when = lastTick + 5;
+    (void)when;
+}

@@ -1,0 +1,60 @@
+// Representative clean simulator code: seeded Rng for randomness,
+// RAII ownership, wide tick arithmetic, described stats, weak_ptr
+// back-edges, logging via the project macros.
+#include <memory>
+
+using Tick = unsigned long long;
+
+namespace stats
+{
+struct Counter
+{
+    Counter(const char *name, const char *desc);
+};
+} // namespace stats
+
+struct Rng
+{
+    explicit Rng(unsigned long long seed);
+    unsigned long long below(unsigned long long bound);
+};
+
+struct MeshColumn;
+
+struct MeshCell
+{
+    // Back-edge held weakly: the column owns its cells, not vice versa.
+    std::weak_ptr<MeshColumn> parentColumn;
+};
+
+struct RouterStats
+{
+    stats::Counter _drops{"drops", "packets dropped at this router"};
+    stats::Counter _spins{"spins",
+                          "allocation passes that made no progress"};
+};
+
+struct Link
+{
+    Tick nextFree = 0;
+
+    Tick
+    reserve(Tick now, Tick serialization)
+    {
+        Tick start = now > nextFree ? now : nextFree;
+        nextFree = start + serialization;
+        return start;
+    }
+};
+
+std::unique_ptr<Link>
+makeLink()
+{
+    return std::make_unique<Link>();
+}
+
+unsigned long long
+pickVictim(Rng &rng, unsigned long long n)
+{
+    return rng.below(n);
+}

@@ -1,0 +1,25 @@
+// Every violation below carries a reasoned NOLINT, which is the
+// sanctioned escape hatch: the rule stays on, the reader learns why
+// this site is exempt, and the self-test proves reasoned suppressions
+// really silence the finding.
+using Tick = unsigned long long;
+
+Tick curTick();
+
+struct Slab
+{
+    int fill;
+};
+
+Slab *
+grabSlab()
+{
+    // NOLINTNEXTLINE(shrimp-ownership-raw-new): arena slab, reclaimed wholesale in ~Arena
+    return new Slab;
+}
+
+unsigned
+fingerprintWord()
+{
+    return static_cast<unsigned>(curTick() & 0xffffffffu); // NOLINT(shrimp-tick-narrowing): low 32 bits only, folded into the stats fingerprint
+}

@@ -118,9 +118,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MeshShape{1, 2}, MeshShape{2, 2}, MeshShape{4, 2},
                       MeshShape{3, 3}, MeshShape{8, 1},
                       MeshShape{4, 4}),
-    [](const ::testing::TestParamInfo<MeshShape> &info) {
-        return std::to_string(info.param.w) + "x" +
-               std::to_string(info.param.h);
+    [](const ::testing::TestParamInfo<MeshShape> &shape_info) {
+        return std::to_string(shape_info.param.w) + "x" +
+               std::to_string(shape_info.param.h);
     });
 
 // ---------------------------------------------------------------------

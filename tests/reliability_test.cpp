@@ -20,6 +20,22 @@ namespace
 using test::loadProgram;
 using test::peek32;
 
+/**
+ * Bit-flip corruption on every output link of one router, applied
+ * after setup traffic (mappings) has gone through cleanly. This is
+ * what the removed setErrorInjection() shim used to do; production
+ * configuration goes through SystemConfig::linkFaults instead.
+ */
+void
+corruptAllLinks(Router &router, double prob, std::uint64_t seed)
+{
+    FaultModel::Params params;
+    params.corruptProb = prob;
+    params.seed = seed;
+    for (unsigned p = Router::LOCAL + 1; p < Router::NUM_PORTS; ++p)
+        router.setFaultModel(static_cast<Router::Port>(p), params);
+}
+
 TEST(Reliability, EveryInjectedErrorCaughtNothingCorruptDelivered)
 {
     ShrimpSystem sys(test::twoNodeConfig());
@@ -31,7 +47,7 @@ TEST(Reliability, EveryInjectedErrorCaughtNothingCorruptDelivered)
                             UpdateMode::AUTO_SINGLE);
 
     // 30% of forwarded packets get one flipped payload bit.
-    sys.backplane().router(0).setErrorInjection(0.3, 12345);
+    corruptAllLinks(sys.backplane().router(0), 0.3, 12345);
 
     constexpr int kStores = 200;
     Program pa("a");
@@ -82,7 +98,7 @@ TEST(Reliability, CleanLinksDeliverEverything)
     sys.kernel(0).mapDirect(*a, src, 1, sys.kernel(1), *b, dst,
                             UpdateMode::AUTO_SINGLE);
     // Probability zero: the injector must be a strict no-op.
-    sys.backplane().router(0).setErrorInjection(0.0, 1);
+    corruptAllLinks(sys.backplane().router(0), 0.0, 1);
 
     Program pa("a");
     pa.movi(R1, src);

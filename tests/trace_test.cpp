@@ -113,8 +113,9 @@ TEST(Trace, ExportIsValidTraceEventJson)
         }
         EXPECT_TRUE(ev.find("ts") != nullptr);
         EXPECT_TRUE(ev.find("name") != nullptr);
-        if (ph->str == "X")
+        if (ph->str == "X") {
             EXPECT_TRUE(ev.find("dur") != nullptr);
+        }
         if (ph->str == "b" || ph->str == "n" || ph->str == "e") {
             EXPECT_TRUE(ev.find("id") != nullptr);
             EXPECT_TRUE(ev.find("cat") != nullptr);

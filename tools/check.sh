@@ -1,56 +1,149 @@
 #!/bin/sh
-# CI gate: build the whole tree with ASan+UBSan, run the test suite,
-# smoke-test the tracing pipeline, and validate every machine-readable
-# artifact against its schema.
-# Usage: tools/check.sh [build-dir] (default build-asan).
+# CI gate, in three stages:
+#
+#   --lint   shrimp_lint (project invariants) + fixture self-test +
+#            clang-tidy (generic hygiene, .clang-tidy) over the
+#            exported compile_commands.json
+#   --asan   ASan+UBSan build: full test suite, trace/stats/chaos
+#            artifact validation, bench artifact smoke
+#   --tsan   ThreadSan build (groundwork for the PDES scale-out):
+#            retransmit + chaos soak, with the same-seed determinism
+#            probe byte-compared across two runs
+#
+# With no stage flags, all three run (lint, asan, tsan). A trailing
+# positional argument overrides the ASan build dir (back-compat).
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build=${1:-"$repo/build-asan"}
+jobs=$(nproc)
 
-cmake -B "$build" -S "$repo" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DSHRIMP_SANITIZE=address,undefined
-cmake --build "$build" -j "$(nproc)"
+run_lint=0
+run_asan=0
+run_tsan=0
+asan_build="$repo/build-asan"
+for arg in "$@"; do
+    case "$arg" in
+      --lint) run_lint=1 ;;
+      --asan) run_asan=1 ;;
+      --tsan) run_tsan=1 ;;
+      -h|--help)
+        echo "usage: tools/check.sh [--lint] [--asan] [--tsan] [asan-build-dir]"
+        exit 0
+        ;;
+      *) asan_build="$arg" ;;
+    esac
+done
+if [ "$run_lint$run_asan$run_tsan" = "000" ]; then
+    run_lint=1
+    run_asan=1
+    run_tsan=1
+fi
 
-# halt_on_error makes UBSan findings fail the run instead of printing.
-cd "$build"
-ASAN_OPTIONS=detect_leaks=1 \
-UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-    ctest --output-on-failure -j "$(nproc)"
+# ---------------------------------------------------------------- lint
+if [ "$run_lint" = 1 ]; then
+    lint_build="$repo/build-lint"
+    cmake -B "$lint_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$lint_build" -j "$jobs" --target shrimp_lint
 
-# Trace-enabled smoke run (under the sanitizers): record a full
-# 2-node workload trace + stats dump and validate both schemas.
-./tools/shrimp_explore stats \
-    --trace-out check_trace.json --stats-json check_stats.json \
-    > /dev/null
-./tools/shrimp_validate trace check_trace.json
-./tools/shrimp_validate stats check_stats.json
+    # Any finding fails the stage; the self-test proves each rule
+    # still fires on its bad fixture.
+    "$lint_build/tools/shrimp_lint" \
+        "$repo/src" "$repo/tests" "$repo/bench" "$repo/tools"
+    "$lint_build/tools/shrimp_lint" --selftest "$repo/tests/lint_fixtures"
 
-# Chaos soak under the sanitizers: fixed seeds, full invariant check,
-# traced, and a determinism probe (same seed twice -> same report).
-./tools/shrimp_explore chaos --seed 1 \
-    --json check_chaos1.json --trace-out check_chaos_trace.json \
-    > /dev/null
-./tools/shrimp_explore chaos --seed 1 --json check_chaos1b.json \
-    > /dev/null
-./tools/shrimp_explore chaos --seed 2 --json check_chaos2.json \
-    > /dev/null
-./tools/shrimp_validate chaos check_chaos1.json check_chaos2.json
-./tools/shrimp_validate trace check_chaos_trace.json
-cmp check_chaos1.json check_chaos1b.json || {
-    echo "check.sh: chaos soak is not deterministic" >&2
-    exit 1
-}
+    # clang-tidy needs the compilation database, which the configure
+    # above exports. The toolchain image may not ship clang-tidy;
+    # missing tool = skipped (the shrimp_lint gate above still ran),
+    # any finding = hard failure (WarningsAsErrors: '*').
+    if command -v clang-tidy > /dev/null 2>&1; then
+        find "$repo/src" "$repo/tools" -name '*.cc' \
+                ! -path '*lint_fixtures*' -print0 |
+            xargs -0 clang-tidy --quiet -p "$lint_build"
+    else
+        echo "check.sh: clang-tidy not installed; skipping (shrimp_lint ran)" >&2
+    fi
+    echo "check.sh: lint stage passed"
+fi
 
-# Every benchmark binary must emit a schema-valid BENCH_<name>.json.
-# One fast case per binary keeps the gate quick; artifact writing is
-# independent of which cases run.
-cd "$build/bench"
-rm -f BENCH_*.json
-./bench_latency --benchmark_filter='EisaPrototype/1' > /dev/null
-./bench_bandwidth --benchmark_filter='EisaPrototype/16' > /dev/null
-./bench_mesh --benchmark_filter='ZeroLoadLatencyByHops/1' > /dev/null
-"$build/tools/shrimp_validate" bench BENCH_*.json
+# ---------------------------------------------------------------- asan
+if [ "$run_asan" = 1 ]; then
+    cmake -B "$asan_build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSHRIMP_SANITIZE=address,undefined
+    cmake --build "$asan_build" -j "$jobs"
 
-echo "check.sh: sanitizer build + tests + artifact validation passed"
+    # halt_on_error makes UBSan findings fail the run instead of printing.
+    cd "$asan_build"
+    ASAN_OPTIONS=detect_leaks=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ctest --output-on-failure -j "$jobs"
+
+    # Trace-enabled smoke run (under the sanitizers): record a full
+    # 2-node workload trace + stats dump and validate both schemas.
+    ./tools/shrimp_explore stats \
+        --trace-out check_trace.json --stats-json check_stats.json \
+        > /dev/null
+    ./tools/shrimp_validate trace check_trace.json
+    ./tools/shrimp_validate stats check_stats.json
+
+    # Chaos soak under the sanitizers: fixed seeds, full invariant check,
+    # traced, and a determinism probe (same seed twice -> same report).
+    ./tools/shrimp_explore chaos --seed 1 \
+        --json check_chaos1.json --trace-out check_chaos_trace.json \
+        > /dev/null
+    ./tools/shrimp_explore chaos --seed 1 --json check_chaos1b.json \
+        > /dev/null
+    ./tools/shrimp_explore chaos --seed 2 --json check_chaos2.json \
+        > /dev/null
+    ./tools/shrimp_validate chaos check_chaos1.json check_chaos2.json
+    ./tools/shrimp_validate trace check_chaos_trace.json
+    cmp check_chaos1.json check_chaos1b.json || {
+        echo "check.sh: chaos soak is not deterministic" >&2
+        exit 1
+    }
+
+    # Every benchmark binary must emit a schema-valid BENCH_<name>.json.
+    # One fast case per binary keeps the gate quick; artifact writing is
+    # independent of which cases run.
+    cd "$asan_build/bench"
+    rm -f BENCH_*.json
+    ./bench_latency --benchmark_filter='EisaPrototype/1' > /dev/null
+    ./bench_bandwidth --benchmark_filter='EisaPrototype/16' > /dev/null
+    ./bench_mesh --benchmark_filter='ZeroLoadLatencyByHops/1' > /dev/null
+    "$asan_build/tools/shrimp_validate" bench BENCH_*.json
+    echo "check.sh: asan stage passed"
+fi
+
+# ---------------------------------------------------------------- tsan
+if [ "$run_tsan" = 1 ]; then
+    tsan_build="$repo/build-tsan"
+    cmake -B "$tsan_build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSHRIMP_SANITIZE=thread
+    cmake --build "$tsan_build" -j "$jobs"
+
+    cd "$tsan_build"
+    export TSAN_OPTIONS=halt_on_error=1
+
+    # The reliability layer and the chaos soak are the workloads the
+    # PDES scale-out will thread first; gate them under TSan now so
+    # data races surface the day threading lands, not a release later.
+    ctest --output-on-failure -j "$jobs" \
+        -R '^Retransmit\.|^ChaosSoak\.|^cli_chaos_seed'
+
+    # Same-seed determinism must hold under TSan instrumentation too:
+    # byte-identical reports, and the embedded stats fingerprint with
+    # them (schema-checked above via the cli_chaos_seed tests).
+    ./tools/shrimp_explore chaos --seed 7 --json tsan_chaos7a.json \
+        > /dev/null
+    ./tools/shrimp_explore chaos --seed 7 --json tsan_chaos7b.json \
+        > /dev/null
+    ./tools/shrimp_validate chaos tsan_chaos7a.json
+    cmp tsan_chaos7a.json tsan_chaos7b.json || {
+        echo "check.sh: chaos soak not deterministic under TSan" >&2
+        exit 1
+    }
+    echo "check.sh: tsan stage passed"
+fi
+
+echo "check.sh: all requested stages passed"
