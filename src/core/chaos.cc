@@ -68,6 +68,20 @@ runChaos(const ChaosParams &p)
     // Dead timeout above the longest link flap: a transient partition
     // must not false-kill a live peer, only a real crash dies.
     cfg.health.deadTimeout = p.maxFlapTicks + ONE_MS;
+    // The overload-protection stack soaks alongside the fault stack:
+    // AIMD windows fed by router ECN marks, paced + jittered
+    // retransmissions, per-NI progress watchdogs, and kernel
+    // admission control. The receive FIFO shrinks so an incast burst
+    // actually crosses the congestion thresholds.
+    cfg.ni.reliability.congestion.enabled = true;
+    cfg.ni.reliability.congestion.paceBucketPackets = 8;
+    cfg.ni.reliability.congestion.rtoJitterPermille = 250;
+    cfg.ni.reliability.congestion.jitterSeed = p.seed ^ 0x5EEDBACCULL;
+    cfg.ni.inFifo = PacketFifo::Params{8 * 1024, 6 * 1024, 3 * 1024};
+    cfg.router.ecnThresholdPackets = 3;
+    cfg.ni.watchdogPeriod = 2 * ONE_MS;
+    cfg.admission.enabled = true;
+    cfg.admission.windowFullAfter = 2 * ONE_MS;
 
     ShrimpSystem sys(cfg);
     EventQueue &eq = sys.eventQueue();
@@ -189,6 +203,39 @@ runChaos(const ChaosParams &p)
         flaps.push_back(FlapEv{at, at + len, a, b, port});
     }
 
+    // Incast overload bursts: every other node volleys stores at one
+    // hot node. Burst stores reuse the pair pages with values drawn
+    // from the legal range, so the safety and exactness invariants
+    // keep holding; the first burst rides the first crash window so
+    // retry-storm suppression runs against a dead target.
+    const Tick burstSpan = 2 * ONE_MS;
+    struct BurstEv
+    {
+        Tick at;
+        NodeId hot;
+    };
+    std::vector<BurstEv> bursts;
+    for (unsigned i = 0; i < p.overloadBursts; ++i) {
+        Tick at = rng.below(
+            p.duration > burstSpan ? p.duration - burstSpan : 1);
+        NodeId hot = static_cast<NodeId>(rng.below(n));
+        if (i == 0 && !crashes.empty()) {
+            at = crashes[0].down;
+            hot = crashes[0].node;
+        }
+        bursts.push_back(BurstEv{at, hot});
+        for (NodeId s = 0; s < n; ++s) {
+            if (s == hot)
+                continue;
+            for (unsigned k = 0; k < p.burstWritesPerSender; ++k) {
+                auto v = static_cast<std::uint32_t>(
+                    rng.inRange(1, p.writesPerPair));
+                writes.push_back(
+                    WriteEv{at + rng.below(burstSpan), s, hot, v});
+            }
+        }
+    }
+
     // ---- install the schedule on the event queue ----
 
     for (const WriteEv &w : writes) {
@@ -229,6 +276,10 @@ runChaos(const ChaosParams &p)
         }, c.down, EventPriority::DEFAULT, "chaos crash");
         eq.scheduleFn([&sys, victim]() { sys.restartNode(victim); },
                       c.up, EventPriority::DEFAULT, "chaos restart");
+    }
+    for (const BurstEv &b : bursts) {
+        eq.scheduleFn([&report]() { ++report.overloadBurstsInjected; },
+                      b.at, EventPriority::DEFAULT, "chaos burst");
     }
     for (const FlapEv &f : flaps) {
         NodeId a = f.a, b = f.b;
@@ -276,17 +327,46 @@ runChaos(const ChaosParams &p)
             fail(report, "node " + std::to_string(id) +
                              " NI FIFOs not drained after settle");
         }
+        if (ni.progressStalled()) {
+            fail(report, "node " + std::to_string(id) +
+                             " watchdog stall survived the settle "
+                             "phase");
+        }
         for (NodeId peer = 0; peer < n; ++peer) {
             if (peer == id)
                 continue;
             std::size_t fill =
                 ni.retransmitBuffer().windowFill(peer);
             if (fill != 0) {
+                RetransmitBuffer &rb = ni.retransmitBuffer();
                 fail(report,
                      "node " + std::to_string(id) + " still holds " +
                          std::to_string(fill) +
                          " unacked packets toward " +
-                         std::to_string(peer));
+                         std::to_string(peer) + " (failed " +
+                         std::to_string(rb.isFailed(peer)) +
+                         ", deadline " +
+                         std::to_string(rb.armedDeadline(peer)) +
+                         ", retries " +
+                         std::to_string(rb.headRetries(peer)) +
+                         ", cwnd " +
+                         std::to_string(rb.congestionWindow(peer)) +
+                         ", out " +
+                         std::to_string(ni.outgoingFifo().packets()) +
+                         ", in " +
+                         std::to_string(ni.incomingFifo().packets()) +
+                         ", injectReady " +
+                         std::to_string(sys.backplane()
+                                            .router(id)
+                                            .injectReady()) +
+                         ", ctrl " +
+                         std::to_string(ni.controlQueueDepth()) +
+                         ", headSeq " +
+                         std::to_string(rb.headSeq(peer)) +
+                         ", peerExpects " +
+                         std::to_string(sys.node(peer)
+                                            .ni.rxExpectedFrom(id)) +
+                         ")");
             }
         }
     }
@@ -308,9 +388,13 @@ runChaos(const ChaosParams &p)
                     mappingAlive = true;
                 }
             }
+            // An overload burst may legitimately shed load at the
+            // sender (outgoing FIFO overflow drop), so a source that
+            // ever dropped cannot promise convergence -- only safety.
             bool exact = !crashedEver[s] && !crashedEver[d] &&
                          !sys.kernel(s).peerFailed(d) && mappingAlive &&
-                         !deliberate(s, d);
+                         !deliberate(s, d) &&
+                         sys.node(s).ni.sendOverflowDrops() == 0;
 
             Translation dt = procs[d]->space().translate(
                 dstBase[d] + s * PAGE_SIZE, false);
@@ -368,6 +452,12 @@ runChaos(const ChaosParams &p)
             sys.node(id).ni.retransmitBuffer();
         report.retransmits +=
             rb.timeoutRetransmits() + rb.nackRetransmits();
+        report.pacedRetransmits += rb.pacedRetransmits();
+        ShrimpNi &ni = sys.node(id).ni;
+        report.sendsRejected += sys.kernel(id).sendsRejected();
+        report.ecnMarksSeen += ni.ecnMarksSeen();
+        report.ecnEchoesSent += ni.ecnEchoesSent();
+        report.watchdogStalls += ni.watchdogStalls();
     }
 
     std::ostringstream stats;

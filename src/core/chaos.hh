@@ -1,16 +1,17 @@
 /**
  * @file
  * Chaos-soak harness: seeded randomized fault schedules (node
- * crash/restart cycles, bidirectional link outages) applied to a mesh
- * carrying mixed automatic-update traffic, with a global invariant
- * checker run at the end:
+ * crash/restart cycles, bidirectional link outages, incast overload
+ * bursts) applied to a mesh carrying mixed automatic-update traffic,
+ * with a global invariant checker run at the end:
  *
  *  - no corrupt or misdelivered data: every destination word is
  *    either untouched or a value its source actually stored there;
  *  - exactly-once in-order end state: pairs untouched by any fault
  *    end with the destination page equal to the source page;
  *  - eventual quiescence: once every link is revived and every node
- *    restarted, all FIFOs, retransmit windows and router queues drain;
+ *    restarted, all FIFOs, retransmit windows and router queues drain
+ *    and no NI progress-watchdog stall survives the settle phase;
  *  - determinism: the same seed produces the identical run (callers
  *    compare statsFingerprint across repeats).
  *
@@ -50,6 +51,16 @@ struct ChaosParams
     Tick maxFlapTicks = 4 * ONE_MS;
     /** Stores issued per ordered node pair, spread over duration. */
     unsigned writesPerPair = 48;
+    /**
+     * Incast overload bursts: every other node fires a volley of
+     * stores at one rng-chosen hot node, driving its receive FIFO and
+     * the surrounding routers into congestion. The first burst is
+     * aligned with the first crash window and aimed at the victim, so
+     * the retry-storm suppression runs while the target is down.
+     */
+    unsigned overloadBursts = 2;
+    /** Stores each other node fires at the hot node per burst. */
+    unsigned burstWritesPerSender = 24;
     /** Word slots cycled through within each pair's mapped page. */
     static constexpr unsigned slots = 16;
     /** Record an event trace and write it here ("" = no trace). */
@@ -71,6 +82,12 @@ struct ChaosReport
     std::uint64_t misroutes = 0;
     std::uint64_t routeAroundDrops = 0;
     std::uint64_t retransmits = 0;
+    std::uint64_t overloadBurstsInjected = 0;
+    std::uint64_t sendsRejected = 0;
+    std::uint64_t ecnMarksSeen = 0;
+    std::uint64_t ecnEchoesSent = 0;
+    std::uint64_t pacedRetransmits = 0;
+    std::uint64_t watchdogStalls = 0;
     std::uint64_t pairsVerifiedExact = 0;
     Tick endTick = 0;
     /** FNV-1a over the final JSON stats dump: the determinism probe. */

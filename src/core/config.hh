@@ -42,6 +42,14 @@ struct SystemConfig
     Kernel::Costs kernel{};
 
     /**
+     * Kernel send admission control: bounded per-destination send
+     * queues plus SUSPECT-peer fail-fast, surfacing overload to the
+     * caller as err::WOULDBLOCK instead of unbounded queue growth.
+     * Off by default (paper-exact blocking semantics).
+     */
+    AdmissionParams admission{};
+
+    /**
      * Fault injection applied to every inter-router link at boot
      * (drop/corrupt/duplicate/reorder/outages; deterministic per
      * seed). Defaults to a clean mesh. Pair with ni.reliability to

@@ -22,6 +22,9 @@ ShrimpSystem::ShrimpSystem(const SystemConfig &cfg) : _cfg(cfg)
         _nodes.push_back(std::make_unique<Node>(_eq, id, cfg,
                                                 *_backplane));
 
+    for (auto &node : _nodes)
+        node->kernel.setAdmission(cfg.admission);
+
     if (cfg.bootKernelServices) {
         // Phase 1: every kernel allocates its channel and NX frames.
         for (auto &node : _nodes)

@@ -60,6 +60,15 @@ struct NetPacket
      *  (everything below it is acknowledged). NACK: the missing seq. */
     std::uint64_t rseq = 0;
 
+    /**
+     * ECN-style congestion signal. On DATA packets a router (queue
+     * above threshold) or the receiving NIC (incoming FIFO nearly
+     * full) sets it in flight; the receiver latches the mark and
+     * echoes it on the next ACK so the sender shrinks its congestion
+     * window before loss occurs. Mutates per hop, so not CRC'd.
+     */
+    bool congestion = false;
+
     // ---- adaptive-routing state (mutates per hop, so not CRC'd) ----
     /** Set when a router detoured around a dead Y link: downstream
      *  routers finish the Y dimension first so the packet cannot

@@ -27,6 +27,7 @@ Router::Router(EventQueue &eq, std::string name, unsigned x, unsigned y,
     _stats.addStat(&_linkDownDrops);
     _stats.addStat(&_misroutes);
     _stats.addStat(&_routeAroundDrops);
+    _stats.addStat(&_ecnMarks);
     _stats.addStat(&_queueDepth);
 }
 
@@ -88,15 +89,34 @@ Router::reserveCredit(Port in)
 void
 Router::headerArrive(Port in, NetPacket &&pkt, Tick ready)
 {
-    _inputs[in].queue.push_back(Entry{std::move(pkt), ready});
-    _queueDepth.sample(_inputs[in].queue.size());
+    InputPort &port = _inputs[in];
+    port.queue.push_back(Entry{std::move(pkt), ready});
+    _queueDepth.sample(port.queue.size());
+
+    // ECN: a DATA packet queueing behind ecnThresholdPackets others is
+    // experiencing congestion; mark it so the receiver's ACK pushes
+    // the sender's window down before buffers overflow into loss.
+    NetPacket &queued = port.queue.back().pkt;
+    if (_params.ecnThresholdPackets != 0 && queued.reliable &&
+        queued.kind == NetPacket::Kind::DATA && !queued.congestion &&
+        port.queue.size() >= _params.ecnThresholdPackets) {
+        queued.congestion = true;
+        ++_ecnMarks;
+    }
+
     scheduleAdvance(ready > curTick() ? ready : curTick());
 }
 
 void
-Router::addCreditWaiter(Port in, std::function<void()> fn)
+Router::addCreditWaiter(Port in, std::uint64_t key,
+                        std::function<void()> fn)
 {
-    _inputs[in].waiters.push_back(std::move(fn));
+    InputPort &port = _inputs[in];
+    for (const Waiter &w : port.waiters) {
+        if (w.key == key)
+            return;     // already parked; keep its FIFO position
+    }
+    port.waiters.push_back(Waiter{key, std::move(fn)});
 }
 
 void
@@ -200,13 +220,38 @@ Router::releaseCredit(Port in)
     SHRIMP_ASSERT(port.reserved > 0, "credit underflow on port ", in);
     --port.reserved;
 
-    std::vector<std::function<void()>> waiters;
-    waiters.swap(port.waiters);
-    for (auto &fn : waiters)
-        fn();
+    wakeOneWaiter(in);
 
     if (in == LOCAL && _injectWaiter)
         _injectWaiter();
+}
+
+void
+Router::wakeOneWaiter(Port in)
+{
+    InputPort &port = _inputs[in];
+    if (port.waiters.empty())
+        return;
+
+    // FIFO fairness: one credit wakes exactly the oldest waiter, so
+    // two senders contending for the same buffer alternate. The woken
+    // router re-registers at the back of the queue if it blocks again.
+    Waiter w = std::move(port.waiters.front());
+    port.waiters.pop_front();
+    w.fn();
+
+    if (port.waiters.empty())
+        return;
+    // Guard against a lost wakeup: the woken waiter may no longer
+    // need the credit. Its retry runs first (its advance event was
+    // enqueued just now, ahead of this recheck), then the recheck
+    // passes a still-free credit to the next waiter in line.
+    eventQueue().scheduleFn(
+        [this, in]() {
+            if (hasCredit(in))
+                wakeOneWaiter(in);
+        },
+        curTick(), EventPriority::DEFAULT, "credit recheck");
 }
 
 void
@@ -287,11 +332,13 @@ Router::advance()
         Port nbr_in = _neighborIn[out];
 
         if (!nbr->hasCredit(nbr_in)) {
-            // Register exactly one wakeup; re-registering on every
-            // advance() would grow the waiter list unboundedly.
+            // Park a wakeup keyed by our identity: re-registering on
+            // every blocked advance() neither grows the waiter queue
+            // nor resets our position in the FIFO wake order.
             ++_blockedOnCredit;
-            nbr->addCreditWaiter(nbr_in,
-                                 [this] { scheduleAdvance(curTick()); });
+            nbr->addCreditWaiter(
+                nbr_in, reinterpret_cast<std::uintptr_t>(this),
+                [this] { scheduleAdvance(curTick()); });
             continue;
         }
 

@@ -85,6 +85,15 @@ class Router : public SimObject
         /** Detours one packet may take before the router gives up and
          *  drops it (livelock guard under multiple failures). */
         unsigned misrouteBudget = 8;
+
+        /**
+         * ECN-style marking: a reliable DATA packet arriving at an
+         * input queue already holding at least this many packets gets
+         * its congestion bit set; the receiving NI echoes the mark on
+         * its next ACK and the sender shrinks its AIMD window.
+         * 0 = marking off (paper-exact fabric).
+         */
+        unsigned ecnThresholdPackets = 0;
     };
 
     Router(EventQueue &eq, std::string name, unsigned x, unsigned y,
@@ -148,6 +157,7 @@ class Router : public SimObject
     bool linkDeadExternally(Port out) const { return _linkDeadExt[out]; }
 
     std::uint64_t misroutes() const { return _misroutes.value(); }
+    std::uint64_t ecnMarks() const { return _ecnMarks.value(); }
     std::uint64_t routeAroundDrops() const
     {
         return _routeAroundDrops.value();
@@ -178,7 +188,18 @@ class Router : public SimObject
     bool hasCredit(Port in) const;
     void reserveCredit(Port in);
     void headerArrive(Port in, NetPacket &&pkt, Tick ready);
-    void addCreditWaiter(Port in, std::function<void()> fn);
+
+    /**
+     * Park a wakeup for a credit on input port @p in. Waiters are
+     * woken in FIFO registration order, one per released credit, so
+     * two upstream routers contending for the same buffer alternate
+     * instead of one starving the other. @p key identifies the waiter
+     * (upstream router identity): re-registering an already-parked
+     * key is a no-op, keeping the queue duplicate-free while blocked
+     * senders re-poll.
+     */
+    void addCreditWaiter(Port in, std::uint64_t key,
+                         std::function<void()> fn);
 
     /** Serialization time of @p pkt on our links. */
     Tick
@@ -199,11 +220,17 @@ class Router : public SimObject
         Tick ready;     //!< header decoded; eligible to forward
     };
 
+    struct Waiter
+    {
+        std::uint64_t key;      //!< upstream identity (dedup only)
+        std::function<void()> fn;
+    };
+
     struct InputPort
     {
         std::deque<Entry> queue;
         unsigned reserved = 0;  //!< slots claimed (queued or in flight)
-        std::vector<std::function<void()>> waiters;
+        std::deque<Waiter> waiters;     //!< FIFO wake order
     };
 
     /**
@@ -233,8 +260,12 @@ class Router : public SimObject
     /** Schedule advance() at @p when (keeps the earliest request). */
     void scheduleAdvance(Tick when);
 
-    /** Release one buffer slot of @p in and wake its waiters. */
+    /** Release one buffer slot of @p in and wake its next waiter. */
     void releaseCredit(Port in);
+
+    /** Wake the head credit waiter of @p in; if more remain, park a
+     *  same-tick recheck so an unconsumed credit passes down the line. */
+    void wakeOneWaiter(Port in);
 
     unsigned _x, _y;
     Params _params;
@@ -271,6 +302,8 @@ class Router : public SimObject
     stats::Counter _routeAroundDrops{
         "routeAroundDrops",
         "packets dropped with no usable route left"};
+    stats::Counter _ecnMarks{
+        "ecnMarks", "data packets congestion-marked at arrival"};
     stats::Histogram _queueDepth{
         "inQueueDepth", "input-port queue depth at header arrival"};
 };

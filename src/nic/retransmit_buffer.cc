@@ -15,10 +15,15 @@ RetransmitBuffer::RetransmitBuffer(EventQueue &eq, std::string name,
       _hooks(std::move(hooks)),
       _tx(num_nodes),
       _timerEvent([this] { timeout(); }, "retransmit timeout"),
+      _paceTokens(params.congestion.paceBucketPackets),
+      _jitterRng(params.congestion.jitterSeed),
       _stats("retx", parent_stats)
 {
     SHRIMP_ASSERT(params.windowPackets > 0, "empty retransmit window");
     SHRIMP_ASSERT(params.rtoBase > 0, "zero retransmission timeout");
+    SHRIMP_ASSERT(params.congestion.paceBucketPackets == 0 ||
+                      params.congestion.paceRefillInterval > 0,
+                  "pacer enabled with a zero refill interval");
     _stats.addStat(&_retxTimeout);
     _stats.addStat(&_retxNack);
     _stats.addStat(&_acksProcessed);
@@ -26,6 +31,12 @@ RetransmitBuffer::RetransmitBuffer(EventQueue &eq, std::string name,
     _stats.addStat(&_channelsFailed);
     _stats.addStat(&_maxBackoffExp);
     _stats.addStat(&_peakRto);
+    _stats.addStat(&_retxPaced);
+    _stats.addStat(&_peakPacedRetx);
+    _stats.addStat(&_ecnBackoffs);
+    _stats.addStat(&_lossBackoffs);
+    _stats.addStat(&_peakCwnd);
+    _stats.addStat(&_staleNackFails);
 }
 
 std::uint64_t
@@ -38,7 +49,143 @@ bool
 RetransmitBuffer::hasRoom(NodeId dst) const
 {
     const TxState &st = _tx.at(dst);
-    return !st.failed && st.window.size() < _params.windowPackets;
+    return !st.failed && st.window.size() < windowLimit(st);
+}
+
+unsigned
+RetransmitBuffer::windowLimit(const TxState &st) const
+{
+    const CongestionParams &cc = _params.congestion;
+    if (!cc.enabled)
+        return _params.windowPackets;
+    unsigned floor = cc.minWindowPackets > 0 ? cc.minWindowPackets : 1;
+    unsigned w = st.cwnd != 0 ? st.cwnd : cc.initialWindowPackets;
+    if (w < floor)
+        w = floor;
+    if (w > _params.windowPackets)
+        w = _params.windowPackets;
+    return w;
+}
+
+unsigned
+RetransmitBuffer::congestionWindow(NodeId dst) const
+{
+    return windowLimit(_tx.at(dst));
+}
+
+Tick
+RetransmitBuffer::windowFullSince(NodeId dst) const
+{
+    return _tx.at(dst).fullSince;
+}
+
+void
+RetransmitBuffer::noteFillChange(TxState &st)
+{
+    bool full = st.window.size() >= windowLimit(st);
+    if (full && st.fullSince == 0)
+        st.fullSince = curTick();
+    else if (!full)
+        st.fullSince = 0;
+}
+
+void
+RetransmitBuffer::cutWindow(TxState &st, bool ecn)
+{
+    const CongestionParams &cc = _params.congestion;
+    if (!cc.enabled)
+        return;
+    // One multiplicative decrease per rtoBase: a burst of echoes or
+    // losses within one timeout is a single congestion event.
+    Tick now = curTick();
+    if (st.lastCwndCutAt != 0 && now - st.lastCwndCutAt < _params.rtoBase)
+        return;
+    st.lastCwndCutAt = now;
+    unsigned before = windowLimit(st);
+    unsigned floor = cc.minWindowPackets > 0 ? cc.minWindowPackets : 1;
+    st.cwnd = before / 2 > floor ? before / 2 : floor;
+    st.ackCredits = 0;
+    if (ecn)
+        ++_ecnBackoffs;
+    else
+        ++_lossBackoffs;
+    noteFillChange(st);
+}
+
+void
+RetransmitBuffer::growWindow(TxState &st, unsigned acked)
+{
+    const CongestionParams &cc = _params.congestion;
+    if (!cc.enabled)
+        return;
+    if (st.cwnd == 0)
+        st.cwnd = windowLimit(st);
+    st.ackCredits += acked;
+    // Additive increase: one packet per congestion window of clean
+    // ACKs, never past the reliability window.
+    while (st.cwnd < _params.windowPackets && st.ackCredits >= st.cwnd) {
+        st.ackCredits -= st.cwnd;
+        ++st.cwnd;
+    }
+    if (st.cwnd >= _params.windowPackets)
+        st.ackCredits = 0;
+    _peakCwnd.observe(static_cast<double>(st.cwnd));
+    noteFillChange(st);
+}
+
+Tick
+RetransmitBuffer::jitterOf(Tick rto)
+{
+    unsigned permille = _params.congestion.rtoJitterPermille;
+    if (permille == 0)
+        return 0;
+    return _jitterRng.below(rto * permille / 1000 + 1);
+}
+
+bool
+RetransmitBuffer::takePaceToken(Tick now)
+{
+    const CongestionParams &cc = _params.congestion;
+    if (cc.paceBucketPackets == 0)
+        return true;
+    Tick earned = (now - _paceLastRefill) / cc.paceRefillInterval;
+    if (earned > 0) {
+        std::uint64_t tokens = _paceTokens + earned;
+        _paceTokens = tokens < cc.paceBucketPackets
+                          ? tokens
+                          : cc.paceBucketPackets;
+        _paceLastRefill += earned * cc.paceRefillInterval;
+    }
+    if (_paceTokens == 0)
+        return false;
+    --_paceTokens;
+    return true;
+}
+
+Tick
+RetransmitBuffer::nextPaceTokenAt() const
+{
+    return _paceLastRefill + _params.congestion.paceRefillInterval;
+}
+
+void
+RetransmitBuffer::fireWindowSpace()
+{
+    if (!_hooks.windowSpace)
+        return;
+    // A callback may synchronously refill the window and trigger more
+    // ACK processing; flatten the recursion so waiters are neither
+    // skipped nor serviced from an unbounded call stack.
+    if (_inWindowSpace) {
+        _windowSpaceAgain = true;
+        return;
+    }
+    _inWindowSpace = true;
+    do {
+        _windowSpaceAgain = false;
+        _hooks.windowSpace();
+    } while (_windowSpaceAgain);
+    _inWindowSpace = false;
 }
 
 bool
@@ -74,9 +221,10 @@ RetransmitBuffer::record(const NetPacket &pkt)
 {
     TxState &st = _tx.at(pkt.dstNode);
     SHRIMP_ASSERT(!st.failed, "record toward a failed destination");
-    SHRIMP_ASSERT(st.window.size() < _params.windowPackets,
+    SHRIMP_ASSERT(st.window.size() < windowLimit(st),
                   "retransmit window overrun toward ", pkt.dstNode);
     st.window.push_back(Unacked{pkt, 0});
+    noteFillChange(st);
     if (st.deadline == 0) {
         st.deadline = curTick() + rtoOf(st);
         rearm();
@@ -84,29 +232,39 @@ RetransmitBuffer::record(const NetPacket &pkt)
 }
 
 void
-RetransmitBuffer::onAck(NodeId src, std::uint64_t next_expected)
+RetransmitBuffer::onAck(NodeId src, std::uint64_t next_expected,
+                        bool ecn_echo)
 {
     TxState &st = _tx.at(src);
     if (st.failed)
         return;
     ++_acksProcessed;
 
-    bool progress = false;
+    unsigned acked = 0;
     while (!st.window.empty() &&
            st.window.front().pkt.rseq < next_expected) {
         st.window.pop_front();
         ++_packetsAcked;
-        progress = true;
+        ++acked;
     }
-    if (!progress)
+
+    // The receiver saw congestion (its FIFO nearly full, or a router
+    // queue above threshold): shrink before loss forces it.
+    if (ecn_echo)
+        cutWindow(st, true);
+
+    if (acked == 0)
         return;
+
+    if (!ecn_echo)
+        growWindow(st, acked);
+    noteFillChange(st);
 
     // Forward progress: the path works, restart backoff and the timer.
     st.backoffExp = 0;
     st.deadline = st.window.empty() ? 0 : curTick() + rtoOf(st);
     rearm();
-    if (_hooks.windowSpace)
-        _hooks.windowSpace();
+    fireWindowSpace();
 }
 
 void
@@ -120,6 +278,35 @@ RetransmitBuffer::onNack(NodeId src, std::uint64_t missing)
     // missing sequence.
     onAck(src, missing);
 
+    // A NACK for a sequence we already retired can only follow a
+    // cumulative ACK that covered it, so the receiver lost its
+    // position (e.g. a late crash-recovery reset raced our restarted
+    // stream). A NACK that merely crossed an ACK in flight looks the
+    // same -- but only once: the receiver cannot ask again for a gap
+    // it has since filled. A repeated stale NACK for one sequence
+    // proves the stream will never resynchronize; fail the channel
+    // now instead of burning the whole retry budget against it.
+    if (!st.window.empty() && missing < st.window.front().pkt.rseq) {
+        Tick now = curTick();
+        if (st.staleNackSeq == missing) {
+            // Ignore same-tick duplicates of one NACK packet.
+            if (now - st.staleNackAt >= _params.rtoBase / 2) {
+                ++_staleNackFails;
+                SHRIMP_DTRACE("Retx", now, name(),
+                              "receiver ", src,
+                              " regressed to seq ", missing,
+                              " behind window base ",
+                              st.window.front().pkt.rseq,
+                              "; failing channel");
+                failChannel(src, st);
+            }
+        } else {
+            st.staleNackSeq = missing;
+            st.staleNackAt = now;
+        }
+        return;
+    }
+
     if (st.window.empty() || st.window.front().pkt.rseq != missing)
         return;     // already retired, or not yet transmitted
 
@@ -132,6 +319,18 @@ RetransmitBuffer::onNack(NodeId src, std::uint64_t missing)
     }
     st.lastNackSeq = missing;
     st.lastNackRetx = now;
+
+    // A NACK implies a drop on the path: multiplicative decrease.
+    cutWindow(st, false);
+
+    // Pacer empty: skip the fast retransmit (no retry charged); the
+    // timeout path will resend once a token accrues.
+    if (!takePaceToken(now)) {
+        ++_retxPaced;
+        st.deadline = now + rtoOf(st);
+        rearm();
+        return;
+    }
 
     Unacked &head = st.window.front();
     ++head.retries;
@@ -153,7 +352,7 @@ RetransmitBuffer::onNack(NodeId src, std::uint64_t missing)
 
     // Restart the timer; fast retransmit is progress-neutral, so the
     // current backoff level is kept.
-    st.deadline = now + rtoOf(st);
+    st.deadline = now + rtoOf(st) + jitterOf(rtoOf(st));
     rearm();
 }
 
@@ -161,12 +360,25 @@ void
 RetransmitBuffer::timeout()
 {
     Tick now = curTick();
+    std::uint64_t paced_this_pass = 0;
     for (NodeId dst = 0; dst < _tx.size(); ++dst) {
         TxState &st = _tx[dst];
         if (st.failed || st.deadline == 0 || st.deadline > now)
             continue;
 
         SHRIMP_ASSERT(!st.window.empty(), "armed timer, empty window");
+
+        // Retry-storm suppression: with the pacer bucket empty the
+        // retransmit is deferred to the next token, charging neither
+        // a retry nor backoff growth -- a synchronized burst after a
+        // link flap trickles out instead of slamming the mesh.
+        if (!takePaceToken(now)) {
+            ++_retxPaced;
+            ++paced_this_pass;
+            st.deadline = nextPaceTokenAt();
+            continue;
+        }
+
         Unacked &head = st.window.front();
         ++head.retries;
         if (head.retries > _params.maxRetries) {
@@ -189,13 +401,16 @@ RetransmitBuffer::timeout()
             ++st.backoffExp;
         _maxBackoffExp.observe(static_cast<double>(st.backoffExp));
         _peakRto.observe(static_cast<double>(rtoOf(st)));
+        cutWindow(st, false);
         SHRIMP_DTRACE("Retx", now, name(), "timeout retransmit seq ",
                       head.pkt.rseq, " -> node ", dst, " try ",
                       head.retries, " rto ", rtoOf(st));
         if (_hooks.retransmit)
             _hooks.retransmit(NetPacket{head.pkt});
-        st.deadline = now + rtoOf(st);
+        st.deadline = now + rtoOf(st) + jitterOf(rtoOf(st));
     }
+    if (paced_this_pass > 0)
+        _peakPacedRetx.observe(static_cast<double>(paced_this_pass));
     rearm();
 }
 
@@ -226,6 +441,7 @@ RetransmitBuffer::failChannel(NodeId dst, TxState &st)
     st.failed = true;
     st.window.clear();
     st.deadline = 0;
+    st.fullSince = 0;
     if (auto *t = eventQueue().tracer()) {
         t->instant(curTick(), name(), "rel", "channelFailed",
                    {trace::arg("dst",

@@ -33,11 +33,47 @@
 #include <vector>
 
 #include "net/packet.hh"
+#include "sim/random.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
 namespace shrimp
 {
+
+/**
+ * Congestion-control tunables layered inside the reliability window.
+ * Everything here defaults off so the plain sliding-window protocol
+ * (and all its timing-exact tests) is unchanged unless a config opts
+ * in.
+ */
+struct CongestionParams
+{
+    /** AIMD per-destination congestion window inside the reliability
+     *  window: clean-ACK progress grows it by one packet per window,
+     *  timeouts / NACK losses / ECN echoes halve it. */
+    bool enabled = false;
+    unsigned initialWindowPackets = 4;  //!< cwnd after (re)boot
+    unsigned minWindowPackets = 1;      //!< multiplicative-decrease floor
+
+    /**
+     * Retry-storm suppression: a per-NI token bucket paces how many
+     * retransmissions may leave in a burst. A timeout that finds the
+     * bucket empty is deferred (no backoff growth, no retry charge)
+     * until the next token accrues. 0 = pacer off.
+     */
+    unsigned paceBucketPackets = 0;
+    Tick paceRefillInterval = 25 * ONE_US;  //!< one token per interval
+
+    /**
+     * Seeded jitter on the backed-off retransmission deadline, in
+     * permille of the current rto, drawn from sim/random.hh so runs
+     * stay deterministic. Desynchronizes the retransmit bursts every
+     * sender would otherwise fire in lockstep after a link flap.
+     * 0 = no jitter; currentRto()/peakRto never include jitter.
+     */
+    unsigned rtoJitterPermille = 0;
+    std::uint64_t jitterSeed = 0x5EEDBACCULL;   //!< salted per NI
+};
 
 /** Tunables of the NI reliability layer (sender and receiver side). */
 struct ReliabilityParams
@@ -55,6 +91,9 @@ struct ReliabilityParams
      *  only clips the resulting timeout). Keeps recovery probes coming
      *  at a bounded pace during long outages. */
     unsigned backoffExpCap = 16;
+
+    /** End-to-end congestion control (AIMD + pacer + jitter). */
+    CongestionParams congestion{};
 
     // ---- receiver (ShrimpNi) ----
     unsigned ackEvery = 4;          //!< cumulative-ACK coalescing count
@@ -96,9 +135,14 @@ class RetransmitBuffer : public SimObject
      */
     void record(const NetPacket &pkt);
 
-    /** Cumulative ACK from @p src: everything below @p next_expected
-     *  is delivered. */
-    void onAck(NodeId src, std::uint64_t next_expected);
+    /**
+     * Cumulative ACK from @p src: everything below @p next_expected
+     * is delivered. @p ecn_echo carries the receiver's latched
+     * congestion mark: true halves the AIMD window (rate-limited to
+     * once per rtoBase) instead of growing it.
+     */
+    void onAck(NodeId src, std::uint64_t next_expected,
+               bool ecn_echo = false);
 
     /** NACK from @p src: it still waits for @p missing; everything
      *  below is implicitly acknowledged; fast-retransmit the rest. */
@@ -125,14 +169,57 @@ class RetransmitBuffer : public SimObject
      */
     void resetChannel(NodeId dst);
 
+    /** Effective AIMD window toward @p dst (windowPackets when
+     *  congestion control is off). */
+    unsigned congestionWindow(NodeId dst) const;
+
+    /**
+     * First tick at which @p dst's window became (and stayed) full,
+     * or 0 if it currently has room. The kernel's admission control
+     * uses a persistently full window as an overload signal.
+     */
+    Tick windowFullSince(NodeId dst) const;
+
+    /** Armed retransmission deadline toward @p dst (0 = unarmed). */
+    Tick armedDeadline(NodeId dst) const
+    {
+        return _tx.at(dst).deadline;
+    }
+
+    /** Retry count of the oldest unacked packet toward @p dst. */
+    unsigned
+    headRetries(NodeId dst) const
+    {
+        const TxState &st = _tx.at(dst);
+        return st.window.empty() ? 0 : st.window.front().retries;
+    }
+
+    /** Sequence of the oldest unacked packet toward @p dst. */
+    std::uint64_t
+    headSeq(NodeId dst) const
+    {
+        const TxState &st = _tx.at(dst);
+        return st.window.empty() ? 0 : st.window.front().pkt.rseq;
+    }
+
     std::uint64_t timeoutRetransmits() const
     {
         return _retxTimeout.value();
     }
     std::uint64_t nackRetransmits() const { return _retxNack.value(); }
+    std::uint64_t pacedRetransmits() const { return _retxPaced.value(); }
+    /** Most retransmissions deferred in one timer pass. */
+    double peakPacedRetransmits() const { return _peakPacedRetx.value(); }
+    std::uint64_t ecnBackoffs() const { return _ecnBackoffs.value(); }
+    std::uint64_t lossBackoffs() const { return _lossBackoffs.value(); }
     std::uint64_t channelsFailed() const
     {
         return _channelsFailed.value();
+    }
+    /** Channels failed fast on a receiver sequence regression. */
+    std::uint64_t staleNackFails() const
+    {
+        return _staleNackFails.value();
     }
     /** Largest backoff exponent observed since the last stats reset. */
     double peakBackoffExp() const { return _maxBackoffExp.value(); }
@@ -155,9 +242,44 @@ class RetransmitBuffer : public SimObject
         Tick lastNackRetx = 0;
         std::uint64_t lastNackSeq = ~std::uint64_t{0};
         bool failed = false;
+
+        // ---- receiver-regression detection (stale NACKs) ----
+        std::uint64_t staleNackSeq = ~std::uint64_t{0};
+        Tick staleNackAt = 0;
+
+        // ---- AIMD congestion window (congestion.enabled only) ----
+        unsigned cwnd = 0;      //!< 0 = not yet initialized
+        unsigned ackCredits = 0;    //!< clean-ACK progress toward +1
+        Tick lastCwndCutAt = 0;     //!< rate-limits halving
+        Tick fullSince = 0;     //!< window hit its limit at this tick
     };
 
     Tick rtoOf(const TxState &st) const;
+
+    /** AIMD limit on st.window (windowPackets when congestion off). */
+    unsigned windowLimit(const TxState &st) const;
+
+    /** Multiplicative decrease (rate-limited to once per rtoBase). */
+    void cutWindow(TxState &st, bool ecn);
+
+    /** Additive increase on @p acked clean-ACKed packets. */
+    void growWindow(TxState &st, unsigned acked);
+
+    /** Track the full/non-full transition for windowFullSince(). */
+    void noteFillChange(TxState &st);
+
+    /** Jitter to add to a retransmission deadline (0 if disabled). */
+    Tick jitterOf(Tick rto);
+
+    /** Take one pacer token; false = bucket empty, defer the retx. */
+    bool takePaceToken(Tick now);
+
+    /** Earliest tick at which the pacer will own a token again. */
+    Tick nextPaceTokenAt() const;
+
+    /** Fire the windowSpace hook, flattening re-entrant invocations
+     *  so a callback that refills the window cannot recurse. */
+    void fireWindowSpace();
 
     /** (Re)schedule the timer event at the earliest live deadline. */
     void rearm();
@@ -171,6 +293,14 @@ class RetransmitBuffer : public SimObject
     Hooks _hooks;
     std::vector<TxState> _tx;
     EventFunctionWrapper _timerEvent;
+
+    // ---- retransmit pacer (shared across destinations) ----
+    std::uint64_t _paceTokens = 0;
+    Tick _paceLastRefill = 0;
+
+    Rng _jitterRng;
+    bool _inWindowSpace = false;
+    bool _windowSpaceAgain = false;
 
     stats::Group _stats;
     stats::Counter _retxTimeout{"retxTimeout",
@@ -187,6 +317,20 @@ class RetransmitBuffer : public SimObject
                                "largest backoff exponent reached"};
     stats::Peak _peakRto{"peakRtoTicks",
                          "largest backed-off retransmission timeout"};
+    stats::Counter _retxPaced{"retxPaced",
+                              "retransmissions deferred by the pacer"};
+    stats::Peak _peakPacedRetx{
+        "peakPacedRetransmits",
+        "most retransmissions deferred in one timer pass"};
+    stats::Counter _ecnBackoffs{"ecnBackoffs",
+                                "cwnd halvings from ECN echoes"};
+    stats::Counter _lossBackoffs{
+        "lossBackoffs", "cwnd halvings from timeouts and NACK losses"};
+    stats::Peak _peakCwnd{"peakCwnd",
+                          "largest AIMD congestion window reached"};
+    stats::Counter _staleNackFails{
+        "staleNackFails",
+        "channels failed fast on receiver sequence regression"};
 };
 
 } // namespace shrimp

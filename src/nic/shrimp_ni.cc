@@ -51,6 +51,7 @@ ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
       _drainEvent([this] { drainIncoming(); }, "ni drain"),
       _mergeTimerEvent([this] { flushMergeBuffer(); }, "merge timeout"),
       _ackEvent([this] { flushPendingAcks(); }, "delayed ack"),
+      _watchdogEvent([this] { watchdogTick(); }, "progress watchdog"),
       _stats(this->name())
 {
     SHRIMP_ASSERT(params.cmdBase >= mem.size(),
@@ -80,13 +81,22 @@ ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
     _stats.addStat(&_relDroppedFailed);
     _stats.addStat(&_crashDrops);
     _stats.addStat(&_heartbeatsForwarded);
+    _stats.addStat(&_sendOverflowDrops);
+    _stats.addStat(&_ecnMarksSeen);
+    _stats.addStat(&_ecnEchoesSent);
+    _stats.addStat(&_watchdogStalls);
     _stats.addStat(&_deliveryLatency);
     _stats.addStat(&_deliveryLatencyHist);
 
     if (_params.reliability.enabled) {
         _rx.resize(backplane.numNodes());
+        // Salt the backoff-jitter seed per node so every NI draws a
+        // distinct (but still seed-reproducible) jitter sequence;
+        // SplitMix64 seeding decorrelates the nearby values.
+        ReliabilityParams rel = _params.reliability;
+        rel.congestion.jitterSeed += node;
         _retx = std::make_unique<RetransmitBuffer>(
-            eq, this->name() + ".retx", _params.reliability,
+            eq, this->name() + ".retx", rel,
             backplane.numNodes(),
             RetransmitBuffer::Hooks{
                 [this](NetPacket &&pkt) { queueControl(std::move(pkt)); },
@@ -131,6 +141,9 @@ ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
             _router.sinkReadyAgain();
         }
     };
+
+    if (_params.watchdogPeriod > 0)
+        schedule(_watchdogEvent, _params.watchdogPeriod);
 }
 
 // ---------------------------------------------------------------------
@@ -258,8 +271,25 @@ ShrimpNi::emitPacket(NodeId dst, Addr dst_addr,
         }
         pkt.reliable = true;
         pkt.kind = NetPacket::Kind::DATA;
-        pkt.rseq = _retx->assignSeq(dst);
     }
+    // Overload: a store burst can outrun the injection engine and
+    // fill the outgoing FIFO. Drop here -- before a sequence number
+    // is burned, so the reliability stream stays gap-free -- instead
+    // of tripping the FIFO's overrun assertion. The threshold
+    // interrupt has already stalled well-behaved senders; what
+    // arrives past capacity is load the node must shed.
+    if (!_outFifo.wouldFit(pkt.wireBytes())) {
+        ++_sendOverflowDrops;
+        if (auto *t = eventQueue().tracer()) {
+            t->instant(curTick(), name(), "ni", "sendOverflowDrop",
+                       {trace::arg("dst", static_cast<std::uint64_t>(dst)),
+                        trace::arg("bytes", static_cast<std::uint64_t>(
+                                                pkt.payload.size()))});
+        }
+        return;
+    }
+    if (pkt.reliable)
+        pkt.rseq = _retx->assignSeq(dst);
     pkt.sealCrc();
     pkt.injectedAt = curTick();
     pkt.seq = _nextSeq++;
@@ -321,6 +351,7 @@ ShrimpNi::tryInject()
                          pkt.traceId, {trace::arg("rseq", pkt.rseq)});
         }
         _router.inject(std::move(pkt));
+        noteProgress();
 
         if (!_ctrl.empty() || !_outFifo.empty())
             reschedule(_injectEvent, _nextInjectOk);
@@ -381,9 +412,57 @@ ShrimpNi::tryInject()
             pkt.crc ^= 0x0001;
     }
     _router.inject(std::move(pkt));
+    noteProgress();
 
     if (!_outFifo.empty())
         reschedule(_injectEvent, _nextInjectOk);
+}
+
+// ---------------------------------------------------------------------
+// Progress watchdog
+// ---------------------------------------------------------------------
+
+void
+ShrimpNi::noteProgress()
+{
+    _lastProgressAt = curTick();
+    _stalled = false;
+}
+
+void
+ShrimpNi::watchdogTick()
+{
+    Tick period = _params.watchdogPeriod;
+    if (period == 0)
+        return;
+    bool pending = !_crashed && (!_ctrl.empty() || !_outFifo.empty() ||
+                                 !_inFifo.empty());
+    if (!pending) {
+        // No queued work means no stall by definition; also refresh
+        // the progress clock so a backlog arriving just before the
+        // next tick gets a full period before being flagged.
+        noteProgress();
+    } else if (curTick() - _lastProgressAt >= period) {
+        if (!_stalled) {
+            _stalled = true;
+            ++_watchdogStalls;
+            SHRIMP_WARN("watchdog: node ", _node,
+                        " made no forward progress for ", period,
+                        " ticks with queued work");
+            if (auto *t = eventQueue().tracer()) {
+                t->instant(curTick(), name(), "ni", "watchdogStall",
+                           {trace::arg("idleTicks",
+                                       curTick() - _lastProgressAt)});
+            }
+        }
+        // Recovery: kick both engines in case a lost wakeup (rather
+        // than genuine backpressure) wedged the pipeline.
+        if (!_injectEvent.scheduled())
+            reschedule(_injectEvent, curTick());
+        if (!_draining && !_inFifo.empty() && !_drainEvent.scheduled())
+            reschedule(_drainEvent, curTick());
+    }
+    schedule(_watchdogEvent, curTick() + period);
 }
 
 // ---------------------------------------------------------------------
@@ -534,7 +613,7 @@ ShrimpNi::sinkDeliver(NetPacket &&pkt)
         }
         if (pkt.kind == NetPacket::Kind::ACK) {
             ++_relAcksRcvd;
-            _retx->onAck(pkt.srcNode, pkt.rseq);
+            _retx->onAck(pkt.srcNode, pkt.rseq, pkt.congestion);
         } else {
             ++_relNacksRcvd;
             _retx->onNack(pkt.srcNode, pkt.rseq);
@@ -610,6 +689,16 @@ ShrimpNi::acceptInOrder(NetPacket &&pkt)
 {
     NodeId src = pkt.srcNode;
     RxState &rx = _rx[src];
+
+    // ECN: latch congestion seen in flight (router queue over its
+    // threshold) or right here (our incoming FIFO nearly full); the
+    // next ACK toward src echoes it so the sender backs off before
+    // packets have to be dropped.
+    if (pkt.congestion || !_inFifo.belowHighThreshold()) {
+        if (!rx.ecnPending)
+            ++_ecnMarksSeen;
+        rx.ecnPending = true;
+    }
 
     trace::Tracer *t = eventQueue().tracer();
     if (t && pkt.traceId) {
@@ -691,7 +780,15 @@ ShrimpNi::sendAckNow(NodeId src)
                    {trace::arg("dst", static_cast<std::uint64_t>(src)),
                     trace::arg("rseq", rx.expected)});
     }
-    queueControl(makeControl(NetPacket::Kind::ACK, src, rx.expected));
+    NetPacket ack = makeControl(NetPacket::Kind::ACK, src, rx.expected);
+    if (rx.ecnPending) {
+        // The congestion bit mutates per hop and is not CRC'd, so
+        // setting it after sealCrc is wire-legal.
+        ack.congestion = true;
+        rx.ecnPending = false;
+        ++_ecnEchoesSent;
+    }
+    queueControl(std::move(ack));
 }
 
 void
@@ -875,6 +972,7 @@ ShrimpNi::setCrashed(bool crashed)
         for (NodeId peer = 0; peer < _rx.size(); ++peer)
             resetChannel(peer);
     }
+    noteProgress();     // a reboot is a fresh watchdog epoch
     _router.sinkReadyAgain();
 }
 
@@ -978,6 +1076,7 @@ ShrimpNi::commitArrival(NetPacket &&pkt)
                   pkt.dstPaddr, " bytes ", pkt.payload.size());
     ++_pktsDelivered;
     _bytesDelivered += pkt.payload.size();
+    noteProgress();
     _deliveryLatency.sample(
         static_cast<double>(curTick() - pkt.injectedAt));
     _deliveryLatencyHist.sample(curTick() - pkt.injectedAt);

@@ -106,6 +106,17 @@ class ShrimpNi : public SimObject,
 
         /** End-to-end reliable delivery (off = paper wire format). */
         ReliabilityParams reliability{};
+
+        /**
+         * Forward-progress watchdog period; 0 = off. While queued
+         * work exists (outgoing FIFO, control queue, or incoming
+         * FIFO) and no packet is injected or committed for a full
+         * period, the NI flags a stall (progressStalled(), counted in
+         * watchdogStalls) and kicks its engines as recovery. The
+         * chaos soak treats a stall that survives the settle phase as
+         * an invariant violation.
+         */
+        Tick watchdogPeriod = 0;
     };
 
     ShrimpNi(EventQueue &eq, std::string name, NodeId node,
@@ -253,6 +264,39 @@ class ShrimpNi : public SimObject,
         return _relDroppedFailed.value();
     }
 
+    // ---- congestion / overload accessors ----
+
+    /** Packets discarded because the outgoing FIFO was full (graceful
+     *  send-path degradation instead of an overrun assertion). */
+    std::uint64_t sendOverflowDrops() const
+    {
+        return _sendOverflowDrops.value();
+    }
+    /** Congestion marks latched off arriving DATA packets. */
+    std::uint64_t ecnMarksSeen() const { return _ecnMarksSeen.value(); }
+    /** ACKs sent carrying a congestion echo. */
+    std::uint64_t ecnEchoesSent() const
+    {
+        return _ecnEchoesSent.value();
+    }
+    /** No-forward-progress windows flagged by the watchdog. */
+    std::uint64_t watchdogStalls() const
+    {
+        return _watchdogStalls.value();
+    }
+    /** Is the NI currently inside a flagged stall? */
+    bool progressStalled() const { return _stalled; }
+
+    /** Control-queue depth (ACKs/NACKs/retransmissions pending). */
+    std::size_t controlQueueDepth() const { return _ctrl.size(); }
+
+    /** Receiver-side next expected reliable sequence from @p src. */
+    std::uint64_t
+    rxExpectedFrom(NodeId src) const
+    {
+        return _rx.at(src).expected;
+    }
+
     stats::Group &statGroup() { return _stats; }
 
     /** Inject one bit error into the next outgoing packet (tests). */
@@ -345,6 +389,9 @@ class ShrimpNi : public SimObject,
         std::map<std::uint64_t, NetPacket> ooo;
         Tick lastNackAt = 0;
         std::uint64_t lastNackSeq = ~std::uint64_t{0};
+        /** Congestion observed (marked packet, or our FIFO nearly
+         *  full); echoed and cleared by the next outgoing ACK. */
+        bool ecnPending = false;
     };
 
     bool _accepting = true;     //!< incoming flow-control state
@@ -358,6 +405,16 @@ class ShrimpNi : public SimObject,
     Tick _nextInjectOk = 0;
     std::uint64_t _nextSeq = 0;
 
+    // ---- progress watchdog (params.watchdogPeriod > 0) ----
+    Tick _lastProgressAt = 0;
+    bool _stalled = false;
+
+    /** Record forward progress (injection or commit) for the watchdog. */
+    void noteProgress();
+
+    /** Periodic watchdog check: queued work + no progress = stall. */
+    void watchdogTick();
+
     /** ACK/NACK + retransmission queue; injected ahead of the FIFO. */
     std::deque<NetPacket> _ctrl;
     std::vector<RxState> _rx;
@@ -367,6 +424,7 @@ class ShrimpNi : public SimObject,
     EventFunctionWrapper _drainEvent;
     EventFunctionWrapper _mergeTimerEvent;
     EventFunctionWrapper _ackEvent;
+    EventFunctionWrapper _watchdogEvent;
 
     stats::Group _stats;
     stats::Counter _pktsSent{"pktsSent", "packets injected"};
@@ -406,6 +464,15 @@ class ShrimpNi : public SimObject,
         "crashDrops", "packets discarded while the node was crashed"};
     stats::Counter _heartbeatsForwarded{
         "heartbeatsForwarded", "HEARTBEAT packets accepted off the wire"};
+    stats::Counter _sendOverflowDrops{
+        "sendOverflowDrops",
+        "packets dropped at the sender: outgoing FIFO full"};
+    stats::Counter _ecnMarksSeen{
+        "ecnMarksSeen", "congestion marks latched off arriving data"};
+    stats::Counter _ecnEchoesSent{
+        "ecnEchoesSent", "ACKs sent carrying a congestion echo"};
+    stats::Counter _watchdogStalls{
+        "watchdogStalls", "no-forward-progress windows flagged"};
     stats::Distribution _deliveryLatency{
         "deliveryLatency", "injection-to-memory latency (ticks)"};
     stats::Histogram _deliveryLatencyHist{

@@ -44,6 +44,7 @@ Kernel::Kernel(EventQueue &eq, std::string name, NodeId node,
     _stats.addStat(&_mappingErrors);
     _stats.addStat(&_crashes);
     _stats.addStat(&_restarts);
+    _stats.addStat(&_sendsRejected);
 
     _cpu.setTrapHandler(this);
     _ni.onArrival = [this](PageNum page, Addr) {
@@ -418,6 +419,28 @@ Kernel::enableHealth(const HealthParams &params)
     _health->start();
 }
 
+bool
+Kernel::sendAdmissible(NodeId peer) const
+{
+    if (!_admission.enabled)
+        return true;
+    // A SUSPECT peer usually becomes DEAD; admitting sends toward it
+    // just grows queues that peerDied() will have to error out.
+    if (_admission.rejectSuspectPeers && _health &&
+        _health->peerState(peer) != PeerHealth::ALIVE) {
+        return false;
+    }
+    if (_admission.windowFullAfter > 0 && _ni.reliabilityEnabled()) {
+        Tick full_since =
+            _ni.retransmitBuffer().windowFullSince(peer);
+        if (full_since != 0 &&
+            curTick() - full_since >= _admission.windowFullAfter) {
+            return false;
+        }
+    }
+    return true;
+}
+
 void
 Kernel::peerDied(NodeId peer)
 {
@@ -565,6 +588,11 @@ Kernel::mapDirectRange(Process &src_proc, Addr src_vaddr, Addr nbytes,
 
     if (peerFailed(dst_kernel.nodeId()) || dst_kernel.crashed())
         return err::HOSTDOWN;
+
+    if (!sendAdmissible(dst_kernel.nodeId())) {
+        countSendRejected();
+        return err::WOULDBLOCK;
+    }
 
     // The whole walk is synchronous, so a B/E span brackets it
     // exactly; the args record what was asked, not what succeeded.

@@ -71,6 +71,26 @@ enum class SchedPolicy : std::uint8_t
     GANG,           //!< only the current gang's processes run
 };
 
+/**
+ * Kernel-level send admission control (overload protection). With
+ * admission on, sends toward an overloaded or unhealthy peer fail
+ * fast with err::WOULDBLOCK instead of queueing without bound: the
+ * caller sheds load at the source, which is what keeps an incast from
+ * collapsing into unbounded kernel queues.
+ */
+struct AdmissionParams
+{
+    bool enabled = false;
+    /** Bound on NX blocked senders queued per destination. */
+    unsigned maxQueuedSendsPerPeer = 16;
+    /** Refuse sends toward peers the failure detector calls SUSPECT
+     *  (or worse) instead of racing the death timeout. */
+    bool rejectSuspectPeers = true;
+    /** Refuse sends once the reliability window toward the peer has
+     *  been continuously full this long; 0 = ignore window fullness. */
+    Tick windowFullAfter = 0;
+};
+
 /** The per-node kernel. */
 class Kernel : public SimObject, public TrapHandler
 {
@@ -313,6 +333,32 @@ class Kernel : public SimObject, public TrapHandler
         return _failedPeers.count(peer) != 0;
     }
 
+    // ---- send admission control ----
+
+    void setAdmission(const AdmissionParams &params)
+    {
+        _admission = params;
+    }
+    const AdmissionParams &admission() const { return _admission; }
+
+    /**
+     * May a new send toward @p peer be admitted right now? False when
+     * admission control is on and the peer is SUSPECT/DEAD or its
+     * reliability window has been full past windowFullAfter. Callers
+     * should fail the operation with err::WOULDBLOCK (and charge
+     * countSendRejected()) rather than queue it.
+     */
+    bool sendAdmissible(NodeId peer) const;
+
+    /** Record one admission-control rejection. */
+    void countSendRejected() { ++_sendsRejected; }
+
+    /** Sends refused with err::WOULDBLOCK by admission control. */
+    std::uint64_t sendsRejected() const
+    {
+        return _sendsRejected.value();
+    }
+
     std::uint64_t fifoStalls() const { return _fifoStalls.value(); }
     Tick fifoStallTicks() const
     {
@@ -390,6 +436,7 @@ class Kernel : public SimObject, public TrapHandler
     std::unique_ptr<MapManager> _mapManager;
     std::unique_ptr<NxService> _nxService;
     std::unique_ptr<HealthMonitor> _health;
+    AdmissionParams _admission;
     bool _crashed = false;
 
     stats::Group _stats;
@@ -407,6 +454,8 @@ class Kernel : public SimObject, public TrapHandler
         "mapping halves errored by the reliability layer"};
     stats::Counter _crashes{"crashes", "node crash events"};
     stats::Counter _restarts{"restarts", "node restart events"};
+    stats::Counter _sendsRejected{
+        "sendsRejected", "sends refused by admission control"};
 
     /** Peers declared unreachable by the NI reliability layer. */
     std::set<NodeId> _failedPeers;

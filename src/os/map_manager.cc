@@ -428,6 +428,13 @@ MapManager::startMap(Process &proc, const MapArgs &args,
         done(err::HOSTDOWN);
         return;
     }
+    if (!_kernel.sendAdmissible(args.dstNode)) {
+        // Admission control: the peer is SUSPECT or persistently
+        // backed up; a map RPC toward it would only join the queue.
+        _kernel.countSendRejected();
+        done(err::WOULDBLOCK);
+        return;
+    }
 
     auto op = std::make_shared<MapOp>();
     op->proc = &proc;

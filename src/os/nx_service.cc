@@ -128,6 +128,19 @@ NxService::csend(ExecContext &ctx, const NxArgs &args, Tick now)
     Process &proc = _kernel.processOf(ctx);
     PeerState &peer = _peers[args.node];
 
+    // Admission control: refuse up front -- before the process blocks
+    // -- when the destination is unhealthy or its send queue is at the
+    // bound. EAGAIN-style: the caller sees WOULDBLOCK immediately
+    // instead of parking on a queue that can only grow.
+    const AdmissionParams &adm = _kernel.admission();
+    if (adm.enabled &&
+        (!_kernel.sendAdmissible(args.node) ||
+         peer.sendWaiters.size() >= adm.maxQueuedSendsPerPeer)) {
+        _kernel.countSendRejected();
+        ctx.regs[R0] = err::WOULDBLOCK;
+        return t;
+    }
+
     _kernel.blockCurrent(ctx);
     auto next = _kernel.scheduleNext(t);
 

@@ -48,6 +48,10 @@ constexpr std::uint64_t NOMEM = 3;      //!< out of frames
 constexpr std::uint64_t PERM = 4;       //!< protection check failed
 constexpr std::uint64_t AGAIN = 5;      //!< resource busy
 constexpr std::uint64_t HOSTDOWN = 6;   //!< peer declared dead
+/** Admission control refused the operation: the peer is SUSPECT, its
+ *  send window is persistently full, or the per-destination send
+ *  queue is at its bound. Retry later (EAGAIN-style fail-fast). */
+constexpr std::uint64_t WOULDBLOCK = 7;
 } // namespace err
 
 /**

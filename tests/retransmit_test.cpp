@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "test_util.hh"
 
@@ -432,6 +434,270 @@ TEST(Retransmit, AckNackRideOutLinkOutageTraced)
     EXPECT_NE(trace.find("linkAlive"), std::string::npos);
     EXPECT_NE(trace.find("retxTimeout"), std::string::npos);
     EXPECT_NE(trace.find("ackSend"), std::string::npos);
+}
+
+// ---- standalone RetransmitBuffer unit tests ------------------------
+// The congestion-control machinery (AIMD window, retransmit pacer,
+// seeded rto jitter, receiver-regression detection) is simplest to pin
+// down against a bare RetransmitBuffer with scripted ACK/NACK inputs.
+
+/** Reliability with the AIMD congestion window switched on. */
+ReliabilityParams
+ccParams()
+{
+    ReliabilityParams p;
+    p.enabled = true;
+    p.rtoBase = 10 * ONE_US;
+    p.rtoMax = ONE_MS;
+    p.congestion.enabled = true;
+    p.congestion.initialWindowPackets = 4;
+    return p;
+}
+
+/** Minimal reliable DATA packet toward @p dst, sequence assigned. */
+NetPacket
+relPkt(RetransmitBuffer &rb, NodeId dst)
+{
+    NetPacket p;
+    p.srcNode = 0;
+    p.dstNode = dst;
+    p.reliable = true;
+    p.kind = NetPacket::Kind::DATA;
+    p.rseq = rb.assignSeq(dst);
+    return p;
+}
+
+TEST(RetransmitUnit, AimdGrowsOnCleanAcksHalvesOnEcnEcho)
+{
+    EventQueue eq;
+    RetransmitBuffer rb(eq, "rb", ccParams(), 4, {}, nullptr);
+
+    // Run above tick 0 so the cut rate limiter's timestamps are live.
+    // Each step acknowledges everything it records, so no
+    // retransmission timer stays armed between the scheduled steps.
+    eq.scheduleFn(
+        [&] {
+            // Boot window: initialWindowPackets, then the limit binds.
+            EXPECT_EQ(rb.congestionWindow(1), 4u);
+            for (int i = 0; i < 4; ++i) {
+                ASSERT_TRUE(rb.hasRoom(1));
+                rb.record(relPkt(rb, 1));
+            }
+            EXPECT_FALSE(rb.hasRoom(1));
+
+            // One clean congestion window of ACKs = +1 packet.
+            rb.onAck(1, 4);
+            EXPECT_EQ(rb.congestionWindow(1), 5u);
+
+            // Another clean window: additive, one more packet.
+            for (int i = 0; i < 5; ++i)
+                rb.record(relPkt(rb, 1));
+            rb.onAck(1, 9);
+            EXPECT_EQ(rb.congestionWindow(1), 6u);
+        },
+        ONE_US, EventPriority::DEFAULT, "aimd additive increase");
+
+    // An ECN echo halves instead of growing (an echo needs no ACK
+    // progress to count: the receiver saw congestion, that is enough).
+    eq.scheduleFn(
+        [&] {
+            rb.onAck(1, 9, true);
+            EXPECT_EQ(rb.congestionWindow(1), 3u);
+            EXPECT_EQ(rb.ecnBackoffs(), 1u);
+        },
+        2 * ONE_US, EventPriority::DEFAULT, "ecn halves");
+
+    // A burst of echoes within one rtoBase is a single congestion
+    // event: the second halving must be suppressed...
+    eq.scheduleFn(
+        [&] {
+            rb.onAck(1, 9, true);
+            EXPECT_EQ(rb.congestionWindow(1), 3u);
+            EXPECT_EQ(rb.ecnBackoffs(), 1u);
+        },
+        3 * ONE_US, EventPriority::DEFAULT, "cut rate-limited");
+
+    // ...but after an rtoBase it cuts again, down to the floor of
+    // one packet, which still admits (exactly) one packet.
+    eq.scheduleFn(
+        [&] {
+            rb.onAck(1, 9, true);
+            EXPECT_EQ(rb.congestionWindow(1), 1u);
+            ASSERT_TRUE(rb.hasRoom(1));
+            rb.record(relPkt(rb, 1));
+            EXPECT_FALSE(rb.hasRoom(1));
+            rb.onAck(1, 10);    // drain; stop the timer
+        },
+        2 * ONE_US + ccParams().rtoBase + 1, EventPriority::DEFAULT,
+        "cut to floor");
+    eq.run();
+}
+
+TEST(RetransmitUnit, WindowSpaceCallbackReentrancyFlattened)
+{
+    // A windowSpace callback that synchronously feeds more ACKs back
+    // into the buffer must not recurse: the nested notification is
+    // deferred and replayed by the outer invocation.
+    EventQueue eq;
+    ReliabilityParams p;
+    p.enabled = true;
+    RetransmitBuffer *rbp = nullptr;
+    int depth = 0, max_depth = 0, calls = 0;
+    RetransmitBuffer::Hooks hooks;
+    hooks.windowSpace = [&] {
+        ++depth;
+        ++calls;
+        max_depth = std::max(max_depth, depth);
+        if (calls == 1)
+            rbp->onAck(1, 2);   // re-entrant progress from the hook
+        --depth;
+    };
+    RetransmitBuffer rb(eq, "rb", p, 4, hooks, nullptr);
+    rbp = &rb;
+
+    rb.record(relPkt(rb, 1));
+    rb.record(relPkt(rb, 1));
+    rb.onAck(1, 1);
+
+    EXPECT_EQ(max_depth, 1);    // never nested
+    EXPECT_EQ(calls, 2);        // the deferred wakeup was replayed
+    EXPECT_EQ(rb.windowFill(1), 0u);
+}
+
+TEST(RetransmitUnit, PacerDefersTimeoutRetransmitsWithoutRetryCharge)
+{
+    // Four destinations time out in the same pass with only two pace
+    // tokens in the bucket: two retransmit, two are deferred to the
+    // next token with no retry charged and no backoff growth.
+    EventQueue eq;
+    ReliabilityParams p;
+    p.enabled = true;
+    p.rtoBase = 10 * ONE_US;
+    p.congestion.paceBucketPackets = 2;
+    p.congestion.paceRefillInterval = 100 * ONE_US;
+    unsigned retx = 0;
+    RetransmitBuffer::Hooks hooks;
+    hooks.retransmit = [&](NetPacket &&) { ++retx; };
+    RetransmitBuffer rb(eq, "rb", p, 5, hooks, nullptr);
+
+    for (NodeId d = 1; d <= 4; ++d)
+        rb.record(relPkt(rb, d));
+
+    eq.scheduleFn(
+        [&] {
+            EXPECT_EQ(retx, 2u);    // bucket size, not backlog size
+            EXPECT_EQ(rb.pacedRetransmits(), 2u);
+            EXPECT_EQ(rb.peakPacedRetransmits(), 2.0);
+            // The sent pair was charged a retry, the deferred pair
+            // was not, and the deferred deadline is the next token.
+            EXPECT_EQ(rb.headRetries(1), 1u);
+            EXPECT_EQ(rb.headRetries(2), 1u);
+            EXPECT_EQ(rb.headRetries(3), 0u);
+            EXPECT_EQ(rb.headRetries(4), 0u);
+            EXPECT_EQ(rb.armedDeadline(3),
+                      p.congestion.paceRefillInterval);
+            for (NodeId d = 1; d <= 4; ++d)
+                rb.onAck(d, 1);     // drain; stop the timers
+        },
+        p.rtoBase + 1, EventPriority::DEFAULT, "probe after pass");
+    eq.run();
+}
+
+/** Ticks at which a lone black-holed packet is retransmitted. */
+std::vector<Tick>
+jitteredSchedule(std::uint64_t seed)
+{
+    EventQueue eq;
+    ReliabilityParams p;
+    p.enabled = true;
+    p.rtoBase = 10 * ONE_US;
+    p.rtoMax = ONE_MS;
+    p.maxRetries = 5;
+    p.backoffExpCap = 0;    // constant rto: gaps isolate the jitter
+    p.congestion.rtoJitterPermille = 500;
+    p.congestion.jitterSeed = seed;
+    std::vector<Tick> at;
+    RetransmitBuffer::Hooks hooks;
+    hooks.retransmit = [&](NetPacket &&) { at.push_back(eq.curTick()); };
+    RetransmitBuffer rb(eq, "rb", p, 2, hooks, nullptr);
+    rb.record(relPkt(rb, 1));
+    eq.run();   // retries exhaust, the channel fails, the queue drains
+    return at;
+}
+
+TEST(RetransmitUnit, RtoJitterSeededDeterministicAndBounded)
+{
+    std::vector<Tick> a = jitteredSchedule(42);
+    std::vector<Tick> b = jitteredSchedule(42);
+    std::vector<Tick> c = jitteredSchedule(43);
+
+    ASSERT_EQ(a.size(), 5u);    // maxRetries
+    EXPECT_EQ(a, b);            // same seed, same schedule
+    EXPECT_NE(a, c);            // different seed desynchronizes
+
+    // Every gap is rto plus at most 500 permille of jitter; the first
+    // deadline (armed by record, not by a retransmission) is unjittered.
+    constexpr Tick rto = 10 * ONE_US;
+    EXPECT_EQ(a[0], rto);
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        Tick gap = a[i] - a[i - 1];
+        EXPECT_GE(gap, rto);
+        EXPECT_LE(gap, rto + rto / 2);
+    }
+}
+
+TEST(RetransmitUnit, RepeatedStaleNackFailsChannelFast)
+{
+    // A NACK for a retired sequence can cross a cumulative ACK once;
+    // a repeat for the same sequence proves the receiver's state
+    // regressed (late recovery reset) and the stream can never
+    // resynchronize. The channel must fail immediately instead of
+    // black-holing the whole retry budget.
+    EventQueue eq;
+    ReliabilityParams p;
+    p.enabled = true;
+    p.rtoBase = 10 * ONE_US;
+    NodeId failed_dst = INVALID_NODE;
+    RetransmitBuffer::Hooks hooks;
+    hooks.failed = [&](NodeId d) { failed_dst = d; };
+    RetransmitBuffer rb(eq, "rb", p, 4, hooks, nullptr);
+
+    for (int i = 0; i < 6; ++i)
+        rb.record(relPkt(rb, 1));
+    rb.onAck(1, 4);     // window base now 4, packets 4..5 pending
+
+    rb.onNack(1, 2);    // stale: could be a crossed ACK -- observe only
+    EXPECT_FALSE(rb.isFailed(1));
+    rb.onNack(1, 2);    // same-tick duplicate of one NACK: still no fail
+    EXPECT_FALSE(rb.isFailed(1));
+    EXPECT_EQ(rb.staleNackFails(), 0u);
+
+    eq.scheduleFn(
+        [&] {
+            rb.onNack(1, 2);    // repeat after real time: regression
+            EXPECT_TRUE(rb.isFailed(1));
+            EXPECT_EQ(rb.staleNackFails(), 1u);
+            EXPECT_EQ(rb.channelsFailed(), 1u);
+            EXPECT_EQ(failed_dst, 1u);
+            EXPECT_EQ(rb.windowFill(1), 0u);    // window discarded
+        },
+        p.rtoBase / 2, EventPriority::DEFAULT, "repeat stale nack");
+
+    // A NACK at (not below) the window base is a normal fast
+    // retransmit, never a regression, however often it repeats.
+    eq.scheduleFn(
+        [&] {
+            for (int i = 0; i < 4; ++i)
+                rb.record(relPkt(rb, 2));
+            rb.onAck(2, 2);
+            rb.onNack(2, 2);
+            rb.onNack(2, 2);
+            EXPECT_FALSE(rb.isFailed(2));
+            EXPECT_EQ(rb.staleNackFails(), 1u);     // unchanged
+            rb.onAck(2, 4);     // drain; stop the timer
+        },
+        p.rtoBase / 2 + 1, EventPriority::DEFAULT, "in-window nacks");
+    eq.run();
 }
 
 } // namespace

@@ -245,5 +245,35 @@ TEST_F(MeshFixture, RandomTrafficAllDeliveredNoDeadlock)
     EXPECT_EQ(total, static_cast<std::size_t>(kPackets));
 }
 
+TEST_F(MeshFixture, CreditWaitersWakeInFifoOrderWithoutDuplicates)
+{
+    // Credit waiters park in FIFO registration order and re-parking
+    // an already-queued key is a no-op: contenders alternate instead
+    // of the most recent re-poller starving the rest.
+    build(2, 1);
+    Router &r1 = mesh->router(1);
+
+    std::vector<int> order;
+    r1.addCreditWaiter(Router::WEST, 101,
+                       [&] { order.push_back(101); });
+    r1.addCreditWaiter(Router::WEST, 102,
+                       [&] { order.push_back(102); });
+    // Blocked senders re-poll; the duplicate registration must keep
+    // key 101's original queue position and original callback.
+    r1.addCreditWaiter(Router::WEST, 101,
+                       [&] { order.push_back(-101); });
+    r1.addCreditWaiter(Router::WEST, 103,
+                       [&] { order.push_back(103); });
+
+    // One packet through router 1's WEST input releases its credit;
+    // since none of these waiters consume it, the same credit passes
+    // down the whole line, strictly in registration order.
+    mesh->router(0).inject(makePkt(0, 1, 1));
+    eq.run();
+
+    EXPECT_EQ(order, (std::vector<int>{101, 102, 103}));
+    ASSERT_EQ(sinks[1].got.size(), 1u);
+}
+
 } // namespace
 } // namespace shrimp

@@ -9,9 +9,13 @@
 #   --tsan   ThreadSan build (groundwork for the PDES scale-out):
 #            retransmit + chaos soak, with the same-seed determinism
 #            probe byte-compared across two runs
+#   --overload  sanitized overload soak: the full incast/all-to-all
+#            sweep through the congestion-collapse gate, plus chaos
+#            soaks with the overload burst phases cranked up
 #
-# With no stage flags, all three run (lint, asan, tsan). A trailing
-# positional argument overrides the ASan build dir (back-compat).
+# With no stage flags, all four run (lint, asan, tsan, overload). A
+# trailing positional argument overrides the ASan build dir
+# (back-compat).
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -20,23 +24,26 @@ jobs=$(nproc)
 run_lint=0
 run_asan=0
 run_tsan=0
+run_overload=0
 asan_build="$repo/build-asan"
 for arg in "$@"; do
     case "$arg" in
       --lint) run_lint=1 ;;
       --asan) run_asan=1 ;;
       --tsan) run_tsan=1 ;;
+      --overload) run_overload=1 ;;
       -h|--help)
-        echo "usage: tools/check.sh [--lint] [--asan] [--tsan] [asan-build-dir]"
+        echo "usage: tools/check.sh [--lint] [--asan] [--tsan] [--overload] [asan-build-dir]"
         exit 0
         ;;
       *) asan_build="$arg" ;;
     esac
 done
-if [ "$run_lint$run_asan$run_tsan" = "000" ]; then
+if [ "$run_lint$run_asan$run_tsan$run_overload" = "0000" ]; then
     run_lint=1
     run_asan=1
     run_tsan=1
+    run_overload=1
 fi
 
 # ---------------------------------------------------------------- lint
@@ -144,6 +151,40 @@ if [ "$run_tsan" = 1 ]; then
         exit 1
     }
     echo "check.sh: tsan stage passed"
+fi
+
+# ------------------------------------------------------------ overload
+if [ "$run_overload" = 1 ]; then
+    # Reuses the ASan build (sanitized overload is the point); build
+    # it if the --asan stage didn't run this invocation.
+    cmake -B "$asan_build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSHRIMP_SANITIZE=address,undefined
+    cmake --build "$asan_build" -j "$jobs" \
+        --target bench_overload shrimp_explore shrimp_validate
+
+    # Full load sweep through the congestion-collapse gate: goodput at
+    # the highest incast point must hold >= 80% of the sweep's peak.
+    cd "$asan_build/bench"
+    rm -f BENCH_overload.json
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ./bench_overload > /dev/null
+    "$asan_build/tools/shrimp_validate" overload BENCH_overload.json
+
+    # Chaos soak with the overload phases cranked up: more incast
+    # bursts, heavier bursts, same determinism bar (same seed twice
+    # must byte-match).
+    cd "$asan_build"
+    ./tools/shrimp_explore chaos --seed 11 --bursts 4 --burst-writes 48 \
+        --json check_overload11a.json > /dev/null
+    ./tools/shrimp_explore chaos --seed 11 --bursts 4 --burst-writes 48 \
+        --json check_overload11b.json > /dev/null
+    ./tools/shrimp_validate chaos check_overload11a.json
+    cmp check_overload11a.json check_overload11b.json || {
+        echo "check.sh: overload chaos soak is not deterministic" >&2
+        exit 1
+    }
+    echo "check.sh: overload stage passed"
 fi
 
 echo "check.sh: all requested stages passed"

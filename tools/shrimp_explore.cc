@@ -220,6 +220,10 @@ cmdChaos(int argc, char **argv)
         static_cast<unsigned>(argValue(argc, argv, "--crashes", 1));
     p.linkFlaps =
         static_cast<unsigned>(argValue(argc, argv, "--flaps", 3));
+    p.overloadBursts =
+        static_cast<unsigned>(argValue(argc, argv, "--bursts", 2));
+    p.burstWritesPerSender = static_cast<unsigned>(
+        argValue(argc, argv, "--burst-writes", 24));
     if (const char *trace = argString(argc, argv, "--trace-out"))
         p.tracePath = trace;
 
@@ -244,6 +248,18 @@ cmdChaos(int argc, char **argv)
                 static_cast<unsigned long long>(r.misroutes));
     std::printf("  retransmits        : %llu\n",
                 static_cast<unsigned long long>(r.retransmits));
+    std::printf("  overload bursts    : %llu\n",
+                static_cast<unsigned long long>(
+                    r.overloadBurstsInjected));
+    std::printf("  ecn marks/echoes   : %llu / %llu\n",
+                static_cast<unsigned long long>(r.ecnMarksSeen),
+                static_cast<unsigned long long>(r.ecnEchoesSent));
+    std::printf("  paced retransmits  : %llu\n",
+                static_cast<unsigned long long>(r.pacedRetransmits));
+    std::printf("  sends rejected     : %llu\n",
+                static_cast<unsigned long long>(r.sendsRejected));
+    std::printf("  watchdog stalls    : %llu\n",
+                static_cast<unsigned long long>(r.watchdogStalls));
     std::printf("  pairs exact        : %llu\n",
                 static_cast<unsigned long long>(r.pairsVerifiedExact));
     std::printf("  stats fingerprint  : %016llx\n",
@@ -289,6 +305,12 @@ cmdChaos(int argc, char **argv)
         field("misroutes", r.misroutes);
         field("routeAroundDrops", r.routeAroundDrops);
         field("retransmits", r.retransmits);
+        field("overloadBurstsInjected", r.overloadBurstsInjected);
+        field("sendsRejected", r.sendsRejected);
+        field("ecnMarksSeen", r.ecnMarksSeen);
+        field("ecnEchoesSent", r.ecnEchoesSent);
+        field("pacedRetransmits", r.pacedRetransmits);
+        field("watchdogStalls", r.watchdogStalls);
         field("pairsVerifiedExact", r.pairsVerifiedExact);
         field("endTick", r.endTick, true);
         out << "  }\n}\n";

@@ -8,6 +8,7 @@
  *   shrimp_validate bench FILE...     BENCH_<name>.json results
  *   shrimp_validate stats FILE...     flat stats JSON object
  *   shrimp_validate chaos FILE...     chaos-soak report JSON
+ *   shrimp_validate overload FILE...  BENCH_overload.json + collapse gate
  *
  * Exit status 0 iff every file parses and conforms.
  */
@@ -191,11 +192,62 @@ validateChaos(const std::string &file, const Value &root)
          {"writesIssued", "crashesInjected", "linkFlapsInjected",
           "heartbeatsSent", "peersDeclaredDead", "peersRecovered",
           "misroutes", "routeAroundDrops", "retransmits",
+          "overloadBurstsInjected", "sendsRejected", "ecnMarksSeen",
+          "ecnEchoesSent", "pacedRetransmits", "watchdogStalls",
           "pairsVerifiedExact", "endTick"}) {
         const Value *c = counters->find(key);
         if (!c || !c->isNumber())
             return fail(file,
                         std::string("counters.") + key + " missing");
+    }
+}
+
+/**
+ * BENCH_overload.json: the bench schema plus the congestion-collapse
+ * regression gate. Over the Incast sweep the most-overloaded point
+ * (highest load_pct, nominally 2x saturation) must still sustain at
+ * least 80% of the peak goodput seen anywhere in the sweep -- a
+ * collapsing send path (goodput falling as offered load rises) fails
+ * here instead of in a human's eyeball.
+ */
+void
+validateOverload(const std::string &file, const Value &root)
+{
+    int before = g_errors;
+    validateBench(file, root);
+    if (g_errors != before)
+        return;
+    const Value *results = root.find("results");
+    double peak = 0.0;
+    double top_load = -1.0, top_goodput = 0.0;
+    std::string top_name;
+    for (const Value &r : results->arr) {
+        const Value *name = r.find("name");
+        if (name->str.compare(0, 6, "Incast") != 0)
+            continue;
+        const Value *goodput = r.find("counters")->find("goodput_MBps");
+        const Value *load = r.find("counters")->find("load_pct");
+        if (!goodput || !goodput->isNumber())
+            return fail(file, name->str + " has no goodput_MBps");
+        if (!load || !load->isNumber())
+            return fail(file, name->str + " has no load_pct");
+        if (goodput->number > peak)
+            peak = goodput->number;
+        if (load->number > top_load) {
+            top_load = load->number;
+            top_goodput = goodput->number;
+            top_name = name->str;
+        }
+    }
+    if (top_load < 0.0)
+        return fail(file, "no Incast results to gate on");
+    if (peak <= 0.0)
+        return fail(file, "Incast sweep moved no data");
+    if (top_goodput < 0.8 * peak) {
+        return fail(file, top_name + " collapsed: " +
+                              std::to_string(top_goodput) +
+                              " MB/s vs peak " + std::to_string(peak) +
+                              " MB/s");
     }
 }
 
@@ -205,14 +257,15 @@ int
 main(int argc, char **argv)
 {
     if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: %s {trace|bench|stats|chaos} FILE...\n",
-                     argv[0]);
+        std::fprintf(
+            stderr,
+            "usage: %s {trace|bench|stats|chaos|overload} FILE...\n",
+            argv[0]);
         return 2;
     }
     std::string mode = argv[1];
     if (mode != "trace" && mode != "bench" && mode != "stats" &&
-        mode != "chaos") {
+        mode != "chaos" && mode != "overload") {
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         return 2;
     }
@@ -237,6 +290,8 @@ main(int argc, char **argv)
             validateBench(path, root);
         else if (mode == "chaos")
             validateChaos(path, root);
+        else if (mode == "overload")
+            validateOverload(path, root);
         else
             validateStats(path, root);
         if (g_errors == 0)
