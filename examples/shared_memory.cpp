@@ -1,15 +1,20 @@
 /**
  * @file
- * PRAM-style shared memory (paper Section 4.1): two processes on
- * different nodes create complementary automatic-update mappings over
- * a "shared" page, so each one's ordinary stores eagerly propagate to
- * the other's copy. There is no global consistency hardware; the
- * application partitions writes (one writer per word) and uses flag
- * words for ordering, exactly as the paper prescribes for software
- * consistency schemes over the in-order network.
+ * Shared memory over the DSM service: two processes on different
+ * nodes attach the same demand-paged shared window and communicate
+ * through ordinary loads and stores -- no explicit mappings, no
+ * message sends, no write-partitioning discipline. Every page fault
+ * becomes a VMMC transaction (DSM_GET to the page's home, a
+ * deliberate-DMA page transfer, map-and-resume), and the directory's
+ * invalidations keep the copies coherent where the old PRAM scheme
+ * relied on the application never writing the same word twice.
  *
- * Process A fills the even words, process B the odd words; each then
- * reads the words the other wrote and checks a sum.
+ * Process A fills the even words of a shared array, process B the odd
+ * words; each publishes a flag, spins on the other's flag (the spin
+ * read re-faults whenever the writer's upgrade invalidates the local
+ * copy), then sums the words the peer wrote. Because all of it lives
+ * in one shared page, the run exercises the whole protocol: read
+ * faults, exclusive upgrades, sharer shootdowns and owner recalls.
  *
  * Run: ./shared_memory
  */
@@ -17,12 +22,29 @@
 #include <cstdio>
 
 #include "core/system.hh"
+#include "os/dsm.hh"
 
 using namespace shrimp;
 
 namespace
 {
+
 constexpr unsigned kWords = 32;     // shared array length
+
+/** Read one word of a DSM page from any node holding a copy. */
+std::uint32_t
+peekDsm(ShrimpSystem &sys, std::uint32_t page, unsigned byte_off)
+{
+    for (NodeId id = 0; id < sys.numNodes(); ++id) {
+        Dsm &d = *sys.kernel(id).dsm();
+        if (d.localState(page) != DsmPageState::INVALID) {
+            return static_cast<std::uint32_t>(sys.node(id).mem.readInt(
+                pageBase(d.localFrame(page)) + byte_off, 4));
+        }
+    }
+    return 0xdead'dead;
+}
+
 } // namespace
 
 int
@@ -31,68 +53,64 @@ main()
     SystemConfig cfg;
     cfg.meshWidth = 2;
     cfg.meshHeight = 1;
+    cfg.dsm.enabled = true;
+    cfg.dsm.numPages = 4;
     ShrimpSystem sys(cfg);
 
     Process *a = sys.kernel(0).createProcess("A");
     Process *b = sys.kernel(1).createProcess("B");
+    sys.kernel(0).dsm()->attach(*a);
+    sys.kernel(1).dsm()->attach(*b);
 
-    // The shared page, replicated on both nodes, cross-mapped with
-    // single-write automatic update in both directions.
-    Addr shared_a = a->allocate(1);
-    Addr shared_b = b->allocate(1);
-    sys.kernel(0).mapDirect(*a, shared_a, 1, sys.kernel(1), *b,
-                            shared_b, UpdateMode::AUTO_SINGLE);
-    sys.kernel(1).mapDirect(*b, shared_b, 1, sys.kernel(0), *a,
-                            shared_a, UpdateMode::AUTO_SINGLE);
+    // Both processes see the shared window at the same address; page
+    // 0 of it holds the whole workload. Layout: words 0..kWords-1 =
+    // data; word kWords / kWords+1 = A's / B's done flag; +2 / +3 =
+    // the result sums.
+    const Addr base = cfg.dsm.baseVaddr;
+    const Addr flag_a_off = 4 * kWords;
+    const Addr flag_b_off = 4 * kWords + 4;
+    const Addr sum_a_off = 4 * kWords + 8;
+    const Addr sum_b_off = 4 * kWords + 12;
 
-    // Layout: words 0..kWords-1 = data; word kWords = A's done flag;
-    // word kWords+1 = B's done flag; +2/+3 = result sums.
-    Addr flag_a_off = 4 * kWords;
-    Addr flag_b_off = 4 * kWords + 4;
-    Addr sum_a_off = 4 * kWords + 8;
-    Addr sum_b_off = 4 * kWords + 12;
-
-    auto make_writer = [&](Addr base, bool even, Addr my_flag,
-                           Addr peer_flag, Addr my_sum) {
+    auto make_writer = [&](bool even, Addr my_flag, Addr peer_flag,
+                           Addr my_sum) {
         Program p(even ? "A" : "B");
         p.movi(R1, base);
-        // Phase 1: write my half of the shared array. Each store is
-        // eagerly propagated to the peer's copy.
+        // Phase 1: write my half of the shared array. The first store
+        // write-faults the page in; later stores hit until the peer
+        // steals it back.
         for (unsigned j = even ? 0 : 1; j < kWords; j += 2)
             p.sti(R1, 4 * j, 1000 + j, 4);
-        // Publish "done" and wait for the peer's flag.
-        p.movi(R2, base + my_flag);
-        p.sti(R2, 0, 1, 4);
-        p.movi(R2, base + peer_flag);
+        // Publish "done" and wait for the peer's flag. The spin read
+        // re-faults each time the peer's writes invalidate our copy.
+        p.sti(R1, my_flag, 1, 4);
         p.label("peer");
-        p.ld(R3, R2, 0, 4);
+        p.ld(R3, R1, peer_flag, 4);
         p.cmpi(R3, 1);
         p.jnz("peer");
-        // Phase 2: sum the words the peer wrote (they are in OUR
-        // local copy now -- reads are always local under PRAM).
+        // Phase 2: sum the words the peer wrote. The page arrives
+        // with the peer's stores already merged -- the directory kept
+        // one coherent copy, no partitioning rules needed.
         p.movi(R4, 0);
         for (unsigned j = even ? 1 : 0; j < kWords; j += 2) {
             p.ld(R3, R1, 4 * j, 4);
             p.add(R4, R3);
         }
-        p.movi(R2, base + my_sum);
-        p.st(R2, 0, R4, 4);
+        p.st(R1, my_sum, R4, 4);
         p.halt();
         p.finalize();
         return p;
     };
 
-    Program pa = make_writer(shared_a, true, flag_a_off, flag_b_off,
-                             sum_a_off);
-    Program pb = make_writer(shared_b, false, flag_b_off, flag_a_off,
-                             sum_b_off);
+    Program pa = make_writer(true, flag_a_off, flag_b_off, sum_a_off);
+    Program pb = make_writer(false, flag_b_off, flag_a_off, sum_b_off);
     sys.kernel(0).loadAndReady(*a,
                                std::make_shared<Program>(std::move(pa)));
     sys.kernel(1).loadAndReady(*b,
                                std::make_shared<Program>(std::move(pb)));
 
     sys.startAll();
-    bool done = sys.runUntilAllExited();
+    bool done = sys.runUntilAllExited(2 * ONE_SEC);
     sys.runFor(ONE_MS);
 
     std::uint64_t expect_a = 0, expect_b = 0;   // peer-written sums
@@ -101,23 +119,23 @@ main()
     for (unsigned j = 0; j < kWords; j += 2)
         expect_b += 1000 + j;   // B sums A's even words
 
-    auto peek = [&](Process &proc, NodeId node, Addr va) {
-        Translation t = proc.space().translate(va, false);
-        return sys.node(node).mem.readInt(t.paddr, 4);
-    };
-    std::uint64_t sum_a = peek(*a, 0, shared_a + sum_a_off);
-    std::uint64_t sum_b = peek(*b, 1, shared_b + sum_b_off);
+    std::uint32_t sum_a = peekDsm(sys, 0, sum_a_off);
+    std::uint32_t sum_b = peekDsm(sys, 0, sum_b_off);
+    std::uint64_t faults = sys.kernel(0).dsm()->faults() +
+                           sys.kernel(1).dsm()->faults();
 
-    std::printf("PRAM-style shared memory over complementary "
-                "mappings\n");
+    std::printf("coherent shared memory over the DSM window\n");
     std::printf("  A's sum of B's words: %llu (expect %llu)\n",
                 (unsigned long long)sum_a,
                 (unsigned long long)expect_a);
     std::printf("  B's sum of A's words: %llu (expect %llu)\n",
                 (unsigned long long)sum_b,
                 (unsigned long long)expect_b);
+    std::printf("  page faults serviced over VMMC: %llu\n",
+                (unsigned long long)faults);
 
-    bool ok = done && sum_a == expect_a && sum_b == expect_b;
+    bool ok = done && sum_a == expect_a && sum_b == expect_b &&
+              faults > 0;
     std::printf("%s\n", ok ? "OK" : "FAILED");
     return ok ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/system.hh"
+#include "os/dsm.hh"
 #include "os/map_manager.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -82,6 +83,13 @@ runChaos(const ChaosParams &p)
     cfg.ni.watchdogPeriod = 2 * ONE_MS;
     cfg.admission.enabled = true;
     cfg.admission.windowFullAfter = 2 * ONE_MS;
+    // The DSM directory protocol soaks on top of the same fault
+    // schedule: page faults, recalls and shootdowns ride the kernel
+    // RPC channel while nodes crash and links flap around them.
+    if (p.dsmPages > 0) {
+        cfg.dsm.enabled = true;
+        cfg.dsm.numPages = p.dsmPages;
+    }
 
     ShrimpSystem sys(cfg);
     EventQueue &eq = sys.eventQueue();
@@ -236,6 +244,27 @@ runChaos(const ChaosParams &p)
         }
     }
 
+    // DSM ops: randomized read/write acquires from every node, drawn
+    // last so the earlier schedules are seed-stable against the knob.
+    struct DsmEv
+    {
+        Tick at;
+        NodeId node;
+        std::uint32_t page;
+        bool write;
+    };
+    std::vector<DsmEv> dsmOps;
+    if (p.dsmPages > 0) {
+        for (NodeId id = 0; id < n; ++id) {
+            for (unsigned k = 0; k < p.dsmOpsPerNode; ++k) {
+                dsmOps.push_back(DsmEv{
+                    rng.below(p.duration), id,
+                    static_cast<std::uint32_t>(rng.below(p.dsmPages)),
+                    rng.below(2) == 1});
+            }
+        }
+    }
+
     // ---- install the schedule on the event queue ----
 
     for (const WriteEv &w : writes) {
@@ -280,6 +309,23 @@ runChaos(const ChaosParams &p)
     for (const BurstEv &b : bursts) {
         eq.scheduleFn([&report]() { ++report.overloadBurstsInjected; },
                       b.at, EventPriority::DEFAULT, "chaos burst");
+    }
+    for (const DsmEv &o : dsmOps) {
+        NodeId node = o.node;
+        std::uint32_t page = o.page;
+        bool write = o.write;
+        eq.scheduleFn(
+            [&sys, node, page, write, &report]() {
+                if (sys.kernel(node).crashed())
+                    return;     // a dead CPU faults on nothing
+                ++report.dsmOpsIssued;
+                sys.kernel(node).dsm()->acquire(
+                    page, write, [&report](std::uint64_t st) {
+                        if (st == err::HOSTDOWN)
+                            ++report.dsmOpsHostdown;
+                    });
+            },
+            o.at, EventPriority::DEFAULT, "chaos dsm op");
     }
     for (const FlapEv &f : flaps) {
         NodeId a = f.a, b = f.b;
@@ -439,6 +485,49 @@ runChaos(const ChaosParams &p)
         }
     }
 
+    // ---- DSM directory invariants ----
+    for (std::uint32_t pg = 0; p.dsmPages > 0 && pg < p.dsmPages;
+         ++pg) {
+        Dsm &home = *sys.kernel(sys.kernel(0).dsm()->homeNode(pg))
+                         .dsm();
+        const NodeId homeId = home.homeNode(pg);
+
+        // At most one node machine-wide holds the page exclusively,
+        // and any holder is exactly the directory's recorded owner.
+        unsigned exclusive = 0;
+        for (NodeId id = 0; id < n; ++id) {
+            if (sys.kernel(id).dsm()->localState(pg) !=
+                DsmPageState::WRITE_EXCLUSIVE) {
+                continue;
+            }
+            ++exclusive;
+            if (!home.errored(pg) && home.ownerOf(pg) != id) {
+                fail(report,
+                     "dsm page " + std::to_string(pg) + ": node " +
+                         std::to_string(id) +
+                         " is WRITE_EXCLUSIVE but the directory "
+                         "records owner " +
+                         std::to_string(home.ownerOf(pg)));
+            }
+        }
+        if (exclusive > 1) {
+            fail(report, "dsm page " + std::to_string(pg) + " has " +
+                             std::to_string(exclusive) +
+                             " exclusive owners");
+        }
+
+        // A recorded owner is a live peer (or the page is errored,
+        // awaiting the lost owner's recovery).
+        NodeId owner = home.ownerOf(pg);
+        if (owner != INVALID_NODE && !home.errored(pg) &&
+            owner != homeId && sys.kernel(homeId).peerFailed(owner)) {
+            fail(report, "dsm page " + std::to_string(pg) +
+                             " owned by dead node " +
+                             std::to_string(owner) +
+                             " without being errored");
+        }
+    }
+
     // ---- roll up counters and the determinism fingerprint ----
     for (NodeId id = 0; id < n; ++id) {
         HealthMonitor *h = sys.kernel(id).health();
@@ -458,6 +547,8 @@ runChaos(const ChaosParams &p)
         report.ecnMarksSeen += ni.ecnMarksSeen();
         report.ecnEchoesSent += ni.ecnEchoesSent();
         report.watchdogStalls += ni.watchdogStalls();
+        if (p.dsmPages > 0)
+            report.dsmRehomes += sys.kernel(id).dsm()->rehomes();
     }
 
     std::ostringstream stats;

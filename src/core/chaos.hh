@@ -63,6 +63,14 @@ struct ChaosParams
     unsigned burstWritesPerSender = 24;
     /** Word slots cycled through within each pair's mapped page. */
     static constexpr unsigned slots = 16;
+    /**
+     * DSM phase: every node issues dsmOpsPerNode randomized
+     * acquires (read or write) against a dsmPages-page shared window
+     * while the fault schedule runs, so directory coherence soaks
+     * against crashes, flaps and overload. 0 pages disables the phase.
+     */
+    unsigned dsmPages = 4;
+    unsigned dsmOpsPerNode = 6;
     /** Record an event trace and write it here ("" = no trace). */
     std::string tracePath;
 };
@@ -89,6 +97,9 @@ struct ChaosReport
     std::uint64_t pacedRetransmits = 0;
     std::uint64_t watchdogStalls = 0;
     std::uint64_t pairsVerifiedExact = 0;
+    std::uint64_t dsmOpsIssued = 0;
+    std::uint64_t dsmOpsHostdown = 0;
+    std::uint64_t dsmRehomes = 0;
     Tick endTick = 0;
     /** FNV-1a over the final JSON stats dump: the determinism probe. */
     std::uint64_t statsFingerprint = 0;

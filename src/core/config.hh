@@ -16,6 +16,7 @@
 #include "net/fault_model.hh"
 #include "net/router.hh"
 #include "nic/shrimp_ni.hh"
+#include "os/dsm.hh"
 #include "os/health.hh"
 #include "os/kernel.hh"
 #include "sim/types.hh"
@@ -64,6 +65,14 @@ struct SystemConfig
      * default; ShrimpSystem::crashNode needs it for peers to notice.
      */
     HealthParams health{};
+
+    /**
+     * Distributed shared memory over VMMC (dsm.enabled): a window of
+     * dsm.numPages pages, home-interleaved across the nodes, demand-
+     * paged over the kernel RPC channel with deliberate-DMA page
+     * transfers. Requires bootKernelServices. Off by default.
+     */
+    DsmConfig dsm{};
 
     /**
      * Use the next-generation datapath: incoming packets bypass the

@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include "os/dsm.hh"
 #include "os/nx_service.hh"
 #include "sim/logging.hh"
 
@@ -26,9 +27,13 @@ ShrimpSystem::ShrimpSystem(const SystemConfig &cfg) : _cfg(cfg)
         node->kernel.setAdmission(cfg.admission);
 
     if (cfg.bootKernelServices) {
-        // Phase 1: every kernel allocates its channel and NX frames.
-        for (auto &node : _nodes)
+        // Phase 1: every kernel allocates its channel and NX frames
+        // (plus DSM home/bounce frames when the service is on).
+        for (auto &node : _nodes) {
             node->kernel.allocateChannels();
+            if (cfg.dsm.enabled)
+                node->kernel.enableDsm(cfg.dsm);
+        }
 
         // Phase 2: cross-wire outgoing mappings now that every
         // receiver frame is known (the real machine does this during
@@ -47,6 +52,11 @@ ShrimpSystem::ShrimpSystem(const SystemConfig &cfg) : _cfg(cfg)
                         kb.nxService().dataInFrame(a, i));
                 ka.nxService().wireTo(b, data_frames,
                                       kb.nxService().ctlInFrame(a));
+
+                if (cfg.dsm.enabled) {
+                    ka.dsm()->wireTo(b,
+                                     kb.dsm()->bounceInFrame(a));
+                }
             }
         }
     }

@@ -1,0 +1,1044 @@
+#include "os/dsm.hh"
+
+#include <algorithm>
+
+#include "os/kernel.hh"
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+namespace
+{
+
+/** Errno constants are 64-bit; RPC response words are 32-bit. */
+constexpr std::uint32_t
+rc(std::uint64_t e)
+{
+    return static_cast<std::uint32_t>(e);
+}
+
+bool
+contains(const std::vector<NodeId> &v, NodeId n)
+{
+    return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+} // namespace
+
+const char *
+dsmPageStateName(DsmPageState s)
+{
+    switch (s) {
+      case DsmPageState::INVALID: return "INVALID";
+      case DsmPageState::READ_SHARED: return "READ_SHARED";
+      case DsmPageState::WRITE_EXCLUSIVE: return "WRITE_EXCLUSIVE";
+    }
+    return "?";
+}
+
+Dsm::Dsm(Kernel &kernel, const DsmConfig &cfg)
+    : _kernel(kernel),
+      _cfg(cfg),
+      _local(cfg.numPages),
+      _dir(cfg.numPages),
+      _links(kernel.numNodes()),
+      _stats("dsm", &kernel.statGroup())
+{
+    SHRIMP_ASSERT(_cfg.numPages > 0, "DSM window is empty");
+    SHRIMP_ASSERT(pageOffset(_cfg.baseVaddr) == 0,
+                  "DSM base address not page aligned");
+    _stats.addStat(&_faults);
+    _stats.addStat(&_fetches);
+    _stats.addStat(&_invalidations);
+    _stats.addStat(&_rehomes);
+    _stats.addStat(&_hostdown);
+    _stats.addStat(&_pagesSent);
+    _stats.addStat(&_faultLatency);
+
+    // The deliberate-DMA engine reports completion through a single
+    // callback that the NX service claimed at kernel construction;
+    // chain it rather than replace it.
+    auto prev = _kernel.ni().dma().onComplete;
+    _kernel.ni().dma().onComplete = [this, prev](Addr base) {
+        if (prev)
+            prev(base);
+        dmaCompleted(base);
+    };
+}
+
+// ---------------------------------------------------------------------
+// Boot wiring
+// ---------------------------------------------------------------------
+
+void
+Dsm::allocatePages()
+{
+    for (std::uint32_t page = 0; page < _cfg.numPages; ++page) {
+        if (homeNode(page) != _kernel.nodeId())
+            continue;
+        DirEntry &d = _dir[page];
+        d.homedHere = true;
+        d.homeFrame = allocPinned("DSM home frame");
+    }
+    for (NodeId peer = 0; peer < _links.size(); ++peer) {
+        if (peer == _kernel.nodeId())
+            continue;
+        PeerLink &l = _links[peer];
+        // Page data arrives silently; the control RPC that follows it
+        // on the (interrupting, in-order) kernel channel announces it.
+        l.bounceIn = allocPinned("DSM bounce frame");
+        NiptEntry &e = _kernel.ni().nipt().entry(l.bounceIn);
+        e.mappedIn = true;
+        e.inSources.push_back(peer);
+        l.stagingOut = allocPinned("DSM staging frame");
+    }
+}
+
+PageNum
+Dsm::bounceInFrame(NodeId peer) const
+{
+    return _links.at(peer).bounceIn;
+}
+
+void
+Dsm::wireTo(NodeId peer, PageNum peer_bounce_frame)
+{
+    PeerLink &l = _links.at(peer);
+    OutMapping m;
+    m.mode = UpdateMode::DELIBERATE;
+    m.dstNode = peer;
+    m.dstPage = peer_bounce_frame;
+    _kernel.ni().nipt().entry(l.stagingOut).outLow = m;
+}
+
+void
+Dsm::attach(Process &proc)
+{
+    SHRIMP_ASSERT(!_proc, "DSM window already attached to a process");
+    _proc = &proc;
+}
+
+// ---------------------------------------------------------------------
+// The fault path (requester side)
+// ---------------------------------------------------------------------
+
+bool
+Dsm::managesFault(const Process &proc, Addr vaddr) const
+{
+    return _proc == &proc && vaddr >= _cfg.baseVaddr &&
+           vaddr < _cfg.baseVaddr + Addr{_cfg.numPages} * PAGE_SIZE;
+}
+
+void
+Dsm::faultOn(Process &proc, Addr vaddr, bool write,
+             std::function<void(std::uint64_t)> done)
+{
+    SHRIMP_ASSERT(managesFault(proc, vaddr),
+                  "fault outside the DSM window");
+    acquire(static_cast<std::uint32_t>(pageOf(vaddr - _cfg.baseVaddr)),
+            write, std::move(done));
+}
+
+bool
+Dsm::satisfied(const LocalPage &lp, bool write)
+{
+    return lp.state == DsmPageState::WRITE_EXCLUSIVE ||
+           (!write && lp.state == DsmPageState::READ_SHARED);
+}
+
+void
+Dsm::acquire(std::uint32_t page, bool write,
+             std::function<void(std::uint64_t)> done)
+{
+    SHRIMP_ASSERT(page < _cfg.numPages, "DSM page out of range ", page);
+    if (satisfied(_local[page], write)) {
+        if (done)
+            done(err::OK);
+        return;
+    }
+    auto &q = _reqs[page];
+    LocalReq req;
+    req.id = _nextReqId++;
+    req.write = write;
+    req.done = std::move(done);
+    req.start = _kernel.curTick();
+    q.push_back(std::move(req));
+    if (q.size() == 1)
+        issueHead(page);
+}
+
+void
+Dsm::issueHead(std::uint32_t page)
+{
+    auto &q = _reqs[page];
+    SHRIMP_ASSERT(!q.empty() && !q.front().issued,
+                  "DSM issue with no fresh head request");
+    LocalReq &head = q.front();
+    head.issued = true;
+    ++_faults;
+    _kernel.charge(nullptr, _kernel.costs().faultHandler);
+
+    NodeId home = homeNode(page);
+    if (home == _kernel.nodeId()) {
+        dirEnqueue(page, home, head.write,
+                   _local[page].state == DsmPageState::READ_SHARED);
+        return;
+    }
+    if (_kernel.peerFailed(home)) {
+        // Fail fast, but never re-entrantly: the caller of acquire()
+        // sees its callback run from an event, as in the remote case.
+        std::uint64_t id = head.id;
+        _kernel.eventQueue().scheduleFn(
+            [this, page, id] {
+                completeLocalIf(page, id, err::HOSTDOWN);
+            },
+            _kernel.curTick(), EventPriority::DEFAULT,
+            "dsm home down");
+        return;
+    }
+    DsmMsg m;
+    m.type = channel::DSM_GET;
+    m.payload[0] = page;
+    m.payload[1] = head.write ? 1 : 0;
+    m.payload[2] = _local[page].state != DsmPageState::INVALID ? 1 : 0;
+    std::uint64_t id = head.id;
+    m.onResponse = [this, page, id](const std::uint32_t *resp) {
+        // err::OK only acknowledges queueing at the home; the grant
+        // (or failure) arrives later as a DSM_PUT.
+        if (resp[0] != rc(err::OK))
+            completeLocalIf(page, id, resp[0]);
+    };
+    sendMsg(home, std::move(m));
+}
+
+void
+Dsm::completeLocal(std::uint32_t page, std::uint64_t status)
+{
+    auto it = _reqs.find(page);
+    if (it == _reqs.end() || it->second.empty())
+        return;
+    auto &q = it->second;
+    LocalReq head = std::move(q.front());
+    q.pop_front();
+    if (status == err::OK)
+        _faultLatency.sample(_kernel.curTick() - head.start);
+    else if (status == err::HOSTDOWN)
+        ++_hostdown;
+    if (head.done)
+        head.done(status);
+    // Serve queued requests the new local state already satisfies and
+    // issue the first one it does not.
+    while (!q.empty() && !q.front().issued) {
+        if (satisfied(_local[page], q.front().write)) {
+            LocalReq r = std::move(q.front());
+            q.pop_front();
+            if (r.done)
+                r.done(err::OK);
+        } else {
+            issueHead(page);
+        }
+    }
+}
+
+void
+Dsm::completeLocalIf(std::uint32_t page, std::uint64_t id,
+                     std::uint64_t status)
+{
+    auto it = _reqs.find(page);
+    if (it == _reqs.end() || it->second.empty() ||
+        it->second.front().id != id)
+        return;
+    completeLocal(page, status);
+}
+
+void
+Dsm::installLocal(std::uint32_t page, PageNum frame, bool write)
+{
+    SHRIMP_ASSERT(frame != INVALID_PAGE, "DSM install without a frame");
+    LocalPage &lp = _local[page];
+    lp.frame = frame;
+    lp.state = write ? DsmPageState::WRITE_EXCLUSIVE
+                     : DsmPageState::READ_SHARED;
+    if (_proc) {
+        _proc->space().pageTable().map(
+            pageOf(windowVaddr(page)),
+            Pte{frame, write, true, CachePolicy::WRITE_BACK});
+    }
+    _kernel.charge(nullptr, _kernel.costs().mapInstallPerPage);
+}
+
+void
+Dsm::dropLocal(std::uint32_t page)
+{
+    LocalPage &lp = _local[page];
+    if (_proc && lp.state != DsmPageState::INVALID)
+        _proc->space().pageTable().unmap(pageOf(windowVaddr(page)));
+    if (lp.frame != INVALID_PAGE &&
+        !(isHome(page) && lp.frame == _dir[page].homeFrame)) {
+        _kernel.frames().unpin(lp.frame);
+        _kernel.frames().free(lp.frame);
+    }
+    lp.frame = INVALID_PAGE;
+    lp.state = DsmPageState::INVALID;
+}
+
+// ---------------------------------------------------------------------
+// Home-side directory
+// ---------------------------------------------------------------------
+
+void
+Dsm::dirEnqueue(std::uint32_t page, NodeId requester, bool write,
+                bool haveCopy)
+{
+    DirEntry &d = _dir[page];
+    SHRIMP_ASSERT(d.homedHere, "directory request for a foreign page");
+    HomeReq h;
+    h.requester = requester;
+    h.write = write;
+    h.haveCopy = haveCopy;
+    d.waiters.push_back(h);
+    pump(page);
+}
+
+void
+Dsm::pump(std::uint32_t page)
+{
+    DirEntry &d = _dir[page];
+    if (d.busy || d.waiters.empty())
+        return;
+    // Post-grant hold: give the previous grantee time to re-execute
+    // its faulting instruction before the next waiter can recall or
+    // invalidate the page out from under it (anti-livelock).
+    const Tick earliest = d.lastGrant + _cfg.grantHold;
+    if (_kernel.curTick() < earliest) {
+        if (d.pumpDeferred)
+            return;
+        d.pumpDeferred = true;
+        _kernel.eventQueue().scheduleFn(
+            [this, page] {
+                _dir[page].pumpDeferred = false;
+                pump(page);
+            },
+            earliest, EventPriority::DEFAULT, "dsm grant hold");
+        return;
+    }
+    d.busy = true;
+    runHead(page);
+}
+
+void
+Dsm::runHead(std::uint32_t page)
+{
+    DirEntry &d = _dir[page];
+    SHRIMP_ASSERT(d.busy && !d.waiters.empty(), "runHead without head");
+    if (d.awaitingWb || d.pendingAcks > 0)
+        return;     // a recall or shootdown step is still in flight
+
+    const NodeId self = _kernel.nodeId();
+    HomeReq h = d.waiters.front();
+
+    if (d.errored ||
+        (h.requester != self && _kernel.peerFailed(h.requester))) {
+        finishHead(page, err::HOSTDOWN);
+        return;
+    }
+
+    // Recall the page from an exclusive owner.
+    if (d.owner != INVALID_NODE && d.owner != h.requester) {
+        if (d.owner == self) {
+            // We are the owner; the home frame holds the live data
+            // (data writes are functional), so no copy is needed.
+            if (h.write) {
+                dropLocal(page);
+                ++_invalidations;
+            } else {
+                _local[page].state = DsmPageState::READ_SHARED;
+                if (_proc)
+                    _proc->space().pageTable().setWritable(
+                        pageOf(windowVaddr(page)), false);
+                if (!contains(d.sharers, self))
+                    d.sharers.push_back(self);
+            }
+            d.owner = INVALID_NODE;
+        } else if (_kernel.peerFailed(d.owner)) {
+            ownerLost(page);
+            return;
+        } else {
+            d.awaitingWb = true;
+            ++_fetches;
+            DsmMsg m;
+            m.type = channel::DSM_FETCH;
+            m.payload[0] = page;
+            m.payload[1] = h.write ? 1 : 0;
+            std::uint64_t gen = d.gen;
+            m.onResponse = [this, page, gen](const std::uint32_t *resp) {
+                DirEntry &e = _dir[page];
+                if (e.gen != gen || !e.awaitingWb)
+                    return;
+                if (resp[0] == rc(err::OK))
+                    return;     // the DSM_WB is on its way
+                e.awaitingWb = false;
+                if (resp[0] == rc(err::AGAIN)) {
+                    // The owner is alive but holds no copy (stale
+                    // record across a failure flap): release the
+                    // ownership and serve the last written-back copy.
+                    e.owner = INVALID_NODE;
+                    if (e.busy)
+                        runHead(page);
+                } else {
+                    ownerLost(page);
+                }
+            };
+            sendMsg(d.owner, std::move(m));
+            return;
+        }
+    } else if (d.owner == h.requester && d.owner != INVALID_NODE) {
+        // The recorded owner is re-faulting: it lost its copy (a
+        // restart or failure flap we never observed). Release the
+        // ownership; the home copy is the freshest surviving version.
+        d.owner = INVALID_NODE;
+    }
+
+    if (!h.write) {
+        grantRead(page);
+        return;
+    }
+
+    // Write: shoot down every other sharer first (the Section 4.4
+    // invalidation shape, carried over the kernel RPC channel).
+    for (std::size_t i = d.sharers.size(); i-- > 0;) {
+        NodeId s = d.sharers[i];
+        if (s == h.requester)
+            continue;
+        d.sharers.erase(d.sharers.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        if (s == self) {
+            if (_local[page].state != DsmPageState::INVALID) {
+                dropLocal(page);
+                ++_invalidations;
+            }
+        } else if (!_kernel.peerFailed(s)) {
+            ++d.pendingAcks;
+            DsmMsg m;
+            m.type = channel::DSM_INVAL;
+            m.payload[0] = page;
+            std::uint64_t gen = d.gen;
+            m.onResponse = [this, page, gen](const std::uint32_t *) {
+                // Any response counts: a synthesized HOSTDOWN means
+                // the sharer died, which invalidates just as well.
+                ackInval(page, gen);
+            };
+            sendMsg(s, std::move(m));
+        }
+    }
+    if (d.pendingAcks > 0)
+        return;
+    grantWrite(page);
+}
+
+void
+Dsm::grantRead(std::uint32_t page)
+{
+    DirEntry &d = _dir[page];
+    HomeReq h = d.waiters.front();
+    const NodeId self = _kernel.nodeId();
+    if (h.requester != self && _kernel.peerFailed(h.requester)) {
+        finishHead(page, err::HOSTDOWN);
+        return;
+    }
+    if (!contains(d.sharers, h.requester))
+        d.sharers.push_back(h.requester);
+    if (h.requester == self) {
+        installLocal(page, d.homeFrame, false);
+        finishHead(page, err::OK);
+        return;
+    }
+    DsmMsg m;
+    m.type = channel::DSM_PUT;
+    m.payload[0] = page;
+    m.payload[1] = 0;
+    m.payload[2] = 1;
+    m.payload[3] = rc(err::OK);
+    m.withData = true;
+    m.data = readFrame(d.homeFrame);
+    sendMsg(h.requester, std::move(m));
+    finishHead(page, err::OK);
+}
+
+void
+Dsm::grantWrite(std::uint32_t page)
+{
+    DirEntry &d = _dir[page];
+    HomeReq h = d.waiters.front();
+    const NodeId self = _kernel.nodeId();
+    if (h.requester != self && _kernel.peerFailed(h.requester)) {
+        finishHead(page, err::HOSTDOWN);
+        return;
+    }
+    // Skip the data transfer only when both sides agree the requester
+    // still holds a READ_SHARED copy to upgrade in place.
+    bool upgrade = h.haveCopy && contains(d.sharers, h.requester);
+    d.sharers.clear();
+    d.owner = h.requester;
+    if (h.requester == self) {
+        installLocal(page, d.homeFrame, true);
+        finishHead(page, err::OK);
+        return;
+    }
+    DsmMsg m;
+    m.type = channel::DSM_PUT;
+    m.payload[0] = page;
+    m.payload[1] = 1;
+    m.payload[2] = upgrade ? 0 : 1;
+    m.payload[3] = rc(err::OK);
+    if (!upgrade) {
+        m.withData = true;
+        m.data = readFrame(d.homeFrame);
+    }
+    sendMsg(h.requester, std::move(m));
+    finishHead(page, err::OK);
+}
+
+void
+Dsm::finishHead(std::uint32_t page, std::uint64_t status)
+{
+    DirEntry &d = _dir[page];
+    SHRIMP_ASSERT(d.busy && !d.waiters.empty(), "finish without head");
+    HomeReq h = d.waiters.front();
+    d.waiters.pop_front();
+    d.busy = false;
+    d.awaitingWb = false;
+    d.pendingAcks = 0;
+    ++d.gen;    // orphan stale FETCH/INVAL callbacks of this sequence
+    if (status == err::OK)
+        d.lastGrant = _kernel.curTick();
+    if (h.requester == _kernel.nodeId()) {
+        completeLocal(page, status);
+    } else if (status != err::OK && !_kernel.peerFailed(h.requester)) {
+        DsmMsg m;
+        m.type = channel::DSM_PUT;
+        m.payload[0] = page;
+        m.payload[1] = h.write ? 1 : 0;
+        m.payload[2] = 0;
+        m.payload[3] = rc(status);
+        sendMsg(h.requester, std::move(m));
+    }
+    pump(page);
+}
+
+void
+Dsm::ackInval(std::uint32_t page, std::uint64_t gen)
+{
+    DirEntry &d = _dir[page];
+    if (d.gen != gen || d.pendingAcks == 0)
+        return;
+    if (--d.pendingAcks == 0 && d.busy)
+        runHead(page);
+}
+
+void
+Dsm::ownerLost(std::uint32_t page)
+{
+    DirEntry &d = _dir[page];
+    if (!d.errored) {
+        d.errored = true;
+        d.lostOwner = d.owner;
+    }
+    d.owner = INVALID_NODE;
+    d.sharers.clear();
+    d.awaitingWb = false;
+    d.pendingAcks = 0;
+    ++d.gen;
+    if (d.busy && !d.waiters.empty())
+        finishHead(page, err::HOSTDOWN);
+}
+
+// ---------------------------------------------------------------------
+// Ordered per-peer message queue (control + page data)
+// ---------------------------------------------------------------------
+
+void
+Dsm::sendMsg(NodeId dst, DsmMsg msg)
+{
+    SHRIMP_ASSERT(dst < _links.size() && dst != _kernel.nodeId(),
+                  "bad DSM message destination ", dst);
+    if (_kernel.peerFailed(dst)) {
+        if (msg.onResponse) {
+            _kernel.eventQueue().scheduleFn(
+                [cb = std::move(msg.onResponse)] {
+                    std::uint32_t resp[channel::payloadWords] = {};
+                    resp[0] = rc(err::HOSTDOWN);
+                    cb(resp);
+                },
+                _kernel.curTick(), EventPriority::DEFAULT,
+                "dsm msg hostdown");
+        }
+        return;
+    }
+    PeerLink &l = _links[dst];
+    l.queue.push_back(std::move(msg));
+    if (!l.active)
+        startNext(dst);
+}
+
+void
+Dsm::startNext(NodeId dst)
+{
+    PeerLink &l = _links[dst];
+    if (l.active || l.queue.empty())
+        return;
+    if (_kernel.peerFailed(dst)) {
+        failAllMsgs(dst);
+        return;
+    }
+    l.active = true;
+    DsmMsg &m = l.queue.front();
+    if (m.withData) {
+        SHRIMP_ASSERT(m.data.size() == PAGE_SIZE, "bad DSM page image");
+        _kernel.mem().write(pageBase(l.stagingOut), m.data.data(),
+                            PAGE_SIZE);
+        startDma(dst, l.gen);
+    } else {
+        postMsgRpc(dst);
+    }
+}
+
+void
+Dsm::startDma(NodeId dst, std::uint64_t gen)
+{
+    PeerLink &l = _links[dst];
+    if (l.gen != gen || !l.active)
+        return;
+    if (!_kernel.ni().dma().start(pageBase(l.stagingOut),
+                                  PAGE_SIZE / 4)) {
+        // Engine claimed by a user deliberate transfer or NX; retry.
+        _kernel.eventQueue().scheduleFn(
+            [this, dst, gen] { startDma(dst, gen); },
+            _kernel.curTick() + 2 * ONE_US, EventPriority::DEFAULT,
+            "dsm dma retry");
+        return;
+    }
+    l.dmaPending = true;
+}
+
+void
+Dsm::postMsgRpc(NodeId dst)
+{
+    PeerLink &l = _links[dst];
+    SHRIMP_ASSERT(l.active && !l.queue.empty(),
+                  "DSM rpc post with no message");
+    DsmMsg &m = l.queue.front();
+    if (m.withData)
+        ++_pagesSent;
+    KernelRpc rpc;
+    rpc.type = m.type;
+    rpc.payload = m.payload;
+    std::uint64_t gen = l.gen;
+    rpc.onResponse = [this, dst, gen](const std::uint32_t *resp) {
+        msgAcked(dst, gen, resp);
+    };
+    _kernel.mapManager().postRpc(dst, std::move(rpc));
+}
+
+void
+Dsm::msgAcked(NodeId dst, std::uint64_t gen, const std::uint32_t *resp)
+{
+    PeerLink &l = _links[dst];
+    if (l.gen != gen || !l.active || l.queue.empty())
+        return;
+    DsmMsg m = std::move(l.queue.front());
+    l.queue.pop_front();
+    l.active = false;
+    if (m.onResponse)
+        m.onResponse(resp);
+    startNext(dst);
+}
+
+void
+Dsm::failAllMsgs(NodeId dst)
+{
+    PeerLink &l = _links[dst];
+    ++l.gen;    // orphan in-flight acks and DMA retries
+    l.active = false;
+    l.dmaPending = false;
+    while (!l.queue.empty()) {
+        DsmMsg m = std::move(l.queue.front());
+        l.queue.pop_front();
+        if (m.onResponse) {
+            _kernel.eventQueue().scheduleFn(
+                [cb = std::move(m.onResponse)] {
+                    std::uint32_t resp[channel::payloadWords] = {};
+                    resp[0] = rc(err::HOSTDOWN);
+                    cb(resp);
+                },
+                _kernel.curTick(), EventPriority::DEFAULT,
+                "dsm msg hostdown");
+        }
+    }
+}
+
+void
+Dsm::dmaCompleted(Addr base)
+{
+    for (NodeId dst = 0; dst < _links.size(); ++dst) {
+        PeerLink &l = _links[dst];
+        if (l.active && l.dmaPending &&
+            pageBase(l.stagingOut) == base) {
+            l.dmaPending = false;
+            postMsgRpc(dst);
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request handlers (run inside the kernel channel arrival dispatch;
+// everything a handler copies out of a bounce frame is copied before
+// the acknowledgement is written)
+// ---------------------------------------------------------------------
+
+bool
+Dsm::handlesRpc(std::uint32_t type)
+{
+    return type >= channel::DSM_GET && type <= channel::DSM_INVAL;
+}
+
+std::uint32_t
+Dsm::handleRpc(NodeId peer, std::uint32_t type,
+               const std::uint32_t *payload, std::uint32_t *resp)
+{
+    (void)resp;
+    switch (type) {
+      case channel::DSM_GET:
+        return handleGet(peer, payload);
+      case channel::DSM_PUT:
+        return handlePut(peer, payload);
+      case channel::DSM_FETCH:
+        return handleFetch(peer, payload);
+      case channel::DSM_WB:
+        return handleWb(peer, payload);
+      case channel::DSM_INVAL:
+        return handleInval(peer, payload);
+      default:
+        return rc(err::INVAL);
+    }
+}
+
+std::uint32_t
+Dsm::handleGet(NodeId peer, const std::uint32_t *p)
+{
+    std::uint32_t page = p[0];
+    if (page >= _cfg.numPages || !isHome(page))
+        return rc(err::INVAL);
+    if (_dir[page].errored)
+        return rc(err::HOSTDOWN);
+    _kernel.mapManager().addWork(_kernel.costs().mapRemotePerPage);
+    dirEnqueue(page, peer, p[1] != 0, p[2] != 0);
+    return rc(err::OK);
+}
+
+std::uint32_t
+Dsm::handlePut(NodeId peer, const std::uint32_t *p)
+{
+    std::uint32_t page = p[0];
+    if (page >= _cfg.numPages || homeNode(page) != peer)
+        return rc(err::INVAL);
+    bool write = p[1] != 0;
+    bool with_data = p[2] != 0;
+    std::uint32_t status = p[3];
+    if (status != rc(err::OK)) {
+        completeLocal(page, status);
+        return rc(err::OK);
+    }
+    LocalPage &lp = _local[page];
+    if (with_data) {
+        if (lp.frame == INVALID_PAGE)
+            lp.frame = allocPinned("DSM cache frame");
+        copyFrame(_links[peer].bounceIn, lp.frame);
+        _kernel.mapManager().addWork(_kernel.costs().pageSwap);
+    } else if (lp.frame == INVALID_PAGE) {
+        // The home granted an in-place upgrade but our copy is gone (a
+        // stale sharer record): fail the fault rather than map garbage.
+        completeLocal(page, err::AGAIN);
+        return rc(err::OK);
+    }
+    installLocal(page, lp.frame, write);
+    completeLocal(page, err::OK);
+    return rc(err::OK);
+}
+
+std::uint32_t
+Dsm::handleFetch(NodeId peer, const std::uint32_t *p)
+{
+    std::uint32_t page = p[0];
+    if (page >= _cfg.numPages || homeNode(page) != peer)
+        return rc(err::INVAL);
+    bool invalidate = p[1] != 0;
+    LocalPage &lp = _local[page];
+    if (lp.state == DsmPageState::INVALID || lp.frame == INVALID_PAGE)
+        return rc(err::AGAIN);  // no copy to write back (stale recall)
+
+    DsmMsg wb;
+    wb.type = channel::DSM_WB;
+    wb.payload[0] = page;
+    wb.payload[1] = invalidate ? 0 : 1;     // we keep a read copy
+    wb.withData = true;
+    wb.data = readFrame(lp.frame);  // capture before the frame dies
+    if (invalidate) {
+        dropLocal(page);
+        ++_invalidations;
+    } else {
+        lp.state = DsmPageState::READ_SHARED;
+        if (_proc)
+            _proc->space().pageTable().setWritable(
+                pageOf(windowVaddr(page)), false);
+    }
+    _kernel.mapManager().addWork(_kernel.costs().pageSwap);
+    sendMsg(peer, std::move(wb));
+    return rc(err::OK);
+}
+
+std::uint32_t
+Dsm::handleWb(NodeId peer, const std::uint32_t *p)
+{
+    std::uint32_t page = p[0];
+    if (page >= _cfg.numPages || !isHome(page))
+        return rc(err::INVAL);
+    bool downgraded = p[1] != 0;
+    DirEntry &d = _dir[page];
+    // Land the data in the home frame before acknowledging: once the
+    // ack is written the writer may reuse its bounce path.
+    copyFrame(_links[peer].bounceIn, d.homeFrame);
+    _kernel.mapManager().addWork(_kernel.costs().pageSwap);
+    if (d.owner == peer) {
+        d.owner = INVALID_NODE;
+        if (downgraded && !contains(d.sharers, peer))
+            d.sharers.push_back(peer);
+    }
+    if (d.awaitingWb) {
+        d.awaitingWb = false;
+        if (d.busy)
+            runHead(page);
+    }
+    return rc(err::OK);
+}
+
+std::uint32_t
+Dsm::handleInval(NodeId peer, const std::uint32_t *p)
+{
+    std::uint32_t page = p[0];
+    if (page >= _cfg.numPages || homeNode(page) != peer)
+        return rc(err::INVAL);
+    if (_local[page].state != DsmPageState::INVALID) {
+        dropLocal(page);
+        ++_invalidations;
+    }
+    _kernel.mapManager().addWork(_kernel.costs().mapInstallPerPage);
+    return rc(err::OK);     // a stale shootdown acks OK as well
+}
+
+// ---------------------------------------------------------------------
+// Node-failure integration
+// ---------------------------------------------------------------------
+
+void
+Dsm::peerDied(NodeId peer)
+{
+    if (peer >= _links.size() || peer == _kernel.nodeId())
+        return;
+
+    failAllMsgs(peer);
+
+    for (std::uint32_t page = 0; page < _cfg.numPages; ++page) {
+        if (isHome(page)) {
+            DirEntry &d = _dir[page];
+            for (std::size_t i = d.sharers.size(); i-- > 0;)
+                if (d.sharers[i] == peer)
+                    d.sharers.erase(d.sharers.begin() +
+                                    static_cast<std::ptrdiff_t>(i));
+            // Drop the dead node's queued requests (the in-service
+            // head, if it is one, fails through the grant-time check).
+            auto &w = d.waiters;
+            std::size_t keep = d.busy ? 1 : 0;
+            for (std::size_t i = w.size(); i-- > keep;)
+                if (w[i].requester == peer)
+                    w.erase(w.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            if (d.owner == peer)
+                ownerLost(page);
+            else
+                pump(page);
+        } else if (homeNode(page) == peer) {
+            // Our copy of a page homed there is orphaned; pending
+            // faults can only fail.
+            dropLocal(page);
+            auto it = _reqs.find(page);
+            if (it == _reqs.end())
+                continue;
+            auto &q = it->second;
+            while (!q.empty()) {
+                LocalReq r = std::move(q.front());
+                q.pop_front();
+                ++_hostdown;
+                if (r.done)
+                    r.done(err::HOSTDOWN);
+            }
+        }
+    }
+}
+
+void
+Dsm::peerRecovered(NodeId peer)
+{
+    for (std::uint32_t page = 0; page < _cfg.numPages; ++page) {
+        if (!isHome(page))
+            continue;
+        DirEntry &d = _dir[page];
+        if (d.errored && d.lostOwner == peer) {
+            // Re-home: the page becomes servable again with the last
+            // written-back contents in the home frame.
+            d.errored = false;
+            d.lostOwner = INVALID_NODE;
+            ++_rehomes;
+            pump(page);
+        }
+    }
+}
+
+void
+Dsm::reset()
+{
+    for (NodeId peer = 0; peer < _links.size(); ++peer) {
+        if (peer == _kernel.nodeId())
+            continue;
+        PeerLink &l = _links[peer];
+        ++l.gen;
+        l.active = false;
+        l.dmaPending = false;
+        l.queue.clear();
+    }
+    for (std::uint32_t page = 0; page < _cfg.numPages; ++page) {
+        dropLocal(page);
+        auto it = _reqs.find(page);
+        if (it != _reqs.end()) {
+            auto &q = it->second;
+            while (!q.empty()) {
+                LocalReq r = std::move(q.front());
+                q.pop_front();
+                ++_hostdown;
+                if (r.done)
+                    r.done(err::HOSTDOWN);
+            }
+        }
+        DirEntry &d = _dir[page];
+        if (!d.homedHere)
+            continue;
+        // The directory restarts empty; peers that held copies saw us
+        // die and dropped them symmetrically. Home frames (and their
+        // last written-back contents) persist across the restart.
+        d.sharers.clear();
+        d.owner = INVALID_NODE;
+        d.lostOwner = INVALID_NODE;
+        d.errored = false;
+        d.busy = false;
+        d.pendingAcks = 0;
+        d.awaitingWb = false;
+        ++d.gen;
+        d.waiters.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+NodeId
+Dsm::homeNode(std::uint32_t page) const
+{
+    SHRIMP_ASSERT(page < _cfg.numPages, "DSM page out of range ", page);
+    return page % _kernel.numNodes();
+}
+
+bool
+Dsm::isHome(std::uint32_t page) const
+{
+    return homeNode(page) == _kernel.nodeId();
+}
+
+DsmPageState
+Dsm::localState(std::uint32_t page) const
+{
+    return _local.at(page).state;
+}
+
+PageNum
+Dsm::localFrame(std::uint32_t page) const
+{
+    return _local.at(page).frame;
+}
+
+NodeId
+Dsm::ownerOf(std::uint32_t page) const
+{
+    SHRIMP_ASSERT(_dir.at(page).homedHere, "not the home of ", page);
+    return _dir[page].owner;
+}
+
+const std::vector<NodeId> &
+Dsm::sharersOf(std::uint32_t page) const
+{
+    SHRIMP_ASSERT(_dir.at(page).homedHere, "not the home of ", page);
+    return _dir[page].sharers;
+}
+
+bool
+Dsm::errored(std::uint32_t page) const
+{
+    SHRIMP_ASSERT(_dir.at(page).homedHere, "not the home of ", page);
+    return _dir[page].errored;
+}
+
+PageNum
+Dsm::homeFrameOf(std::uint32_t page) const
+{
+    SHRIMP_ASSERT(_dir.at(page).homedHere, "not the home of ", page);
+    return _dir[page].homeFrame;
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+void
+Dsm::copyFrame(PageNum src, PageNum dst)
+{
+    std::vector<std::uint8_t> buf(PAGE_SIZE);
+    _kernel.mem().read(pageBase(src), buf.data(), PAGE_SIZE);
+    _kernel.mem().write(pageBase(dst), buf.data(), PAGE_SIZE);
+}
+
+std::vector<std::uint8_t>
+Dsm::readFrame(PageNum frame) const
+{
+    std::vector<std::uint8_t> buf(PAGE_SIZE);
+    _kernel.mem().read(pageBase(frame), buf.data(), PAGE_SIZE);
+    return buf;
+}
+
+PageNum
+Dsm::allocPinned(const char *what)
+{
+    auto f = _kernel.frames().alloc();
+    SHRIMP_ASSERT(f, "out of frames for ", what);
+    _kernel.frames().pin(*f);
+    return *f;
+}
+
+Addr
+Dsm::windowVaddr(std::uint32_t page) const
+{
+    return _cfg.baseVaddr + Addr{page} * PAGE_SIZE;
+}
+
+} // namespace shrimp

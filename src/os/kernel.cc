@@ -1,5 +1,6 @@
 #include "os/kernel.hh"
 
+#include "os/dsm.hh"
 #include "os/map_manager.hh"
 #include "os/nx_service.hh"
 #include "sim/logging.hh"
@@ -209,7 +210,9 @@ Kernel::makeReady(Process &proc)
     }
     proc.state = ProcState::READY;
     _readyQueue.push_back(&proc);
-    if (!_running && !_stalledOnOutFifo) {
+    // No dispatch while crashed: a deferred completion (e.g. a DSM
+    // fault resolving during the outage) must not restart the CPU.
+    if (!_running && !_stalledOnOutFifo && !_crashed) {
         auto t = scheduleNext(curTick());
         if (t)
             _cpu.resumeAt(*t);
@@ -377,6 +380,24 @@ Kernel::allocateChannels()
     _nxService->allocatePages();
 }
 
+void
+Kernel::enableDsm(const DsmConfig &cfg)
+{
+    if (_dsm)
+        return;
+    _dsm = std::make_unique<Dsm>(*this, cfg);
+    _dsm->allocatePages();
+}
+
+std::uint32_t
+Kernel::dsmRpc(NodeId peer, std::uint32_t type,
+               const std::uint32_t *payload, std::uint32_t *resp)
+{
+    if (!_dsm || !Dsm::handlesRpc(type))
+        return static_cast<std::uint32_t>(err::INVAL);
+    return _dsm->handleRpc(peer, type, payload, resp);
+}
+
 PageNum
 Kernel::channelInFrame(NodeId peer) const
 {
@@ -458,6 +479,8 @@ Kernel::peerDied(NodeId peer)
     _ni.declarePeerDead(peer);
     _mapManager->purgeDeadPeerIn(peer);
     _mapManager->resetPeer(peer);
+    if (_dsm)
+        _dsm->peerDied(peer);
 }
 
 void
@@ -486,6 +509,8 @@ Kernel::peerRecovered(NodeId peer)
         _mem.write(pageBase(_channelIn[peer]), zeros.data(),
                    PAGE_SIZE);
     }
+    if (_dsm)
+        _dsm->peerRecovered(peer);
 }
 
 void
@@ -538,6 +563,8 @@ Kernel::restart()
                        PAGE_SIZE);
         }
     }
+    if (_dsm)
+        _dsm->reset();
     if (_health)
         _health->resume();
     auto t = scheduleNext(curTick());
@@ -991,6 +1018,29 @@ Kernel::fault(ExecContext &ctx, FaultKind kind, Addr vaddr, bool write,
     Process &proc = processOf(ctx);
     PageNum vpage = pageOf(vaddr);
     Tick t = now + charge(&ctx, _costs.faultHandler);
+
+    // DSM window: the fault becomes a VMMC transaction. NOT_PRESENT
+    // fetches the page; a write PROTECTION fault on a READ_SHARED page
+    // is the upgrade path.
+    if (_dsm && _dsm->managesFault(proc, vaddr) &&
+        (kind == FaultKind::NOT_PRESENT ||
+         (kind == FaultKind::PROTECTION && write))) {
+        blockCurrent(ctx);
+        auto next = scheduleNext(t);
+        _dsm->faultOn(proc, vaddr, write,
+                      [this, &proc](std::uint64_t status) {
+                          if (status == err::OK) {
+                              makeReady(proc);
+                              return;
+                          }
+                          SHRIMP_WARN("killing '", proc.name(),
+                                      "': DSM fault failed with ",
+                                      status);
+                          proc.state = ProcState::EXITED;
+                          proc.ctx.halted = true;
+                      });
+        return next;
+    }
 
     if (kind == FaultKind::NOT_PRESENT) {
         if (inSwap(proc.pid(), vpage)) {

@@ -50,6 +50,8 @@
 namespace shrimp
 {
 
+class Dsm;
+struct DsmConfig;
 class MapManager;
 class NxService;
 
@@ -129,6 +131,18 @@ class Kernel : public SimObject, public TrapHandler
     FrameAllocator &frames() { return _frames; }
     MapManager &mapManager() { return *_mapManager; }
     NxService &nxService() { return *_nxService; }
+
+    /** Create the DSM service (before allocateChannels-time wiring). */
+    void enableDsm(const DsmConfig &cfg);
+
+    /** The DSM service, or nullptr unless enableDsm ran. */
+    Dsm *dsm() { return _dsm.get(); }
+
+    /** Dispatch a DSM RPC from the kernel channel; err::INVAL when
+     *  the type is unknown or the DSM service is off. */
+    std::uint32_t dsmRpc(NodeId peer, std::uint32_t type,
+                         const std::uint32_t *payload,
+                         std::uint32_t *resp);
 
     void
     setConsistencyPolicy(ConsistencyPolicy policy)
@@ -435,6 +449,7 @@ class Kernel : public SimObject, public TrapHandler
 
     std::unique_ptr<MapManager> _mapManager;
     std::unique_ptr<NxService> _nxService;
+    std::unique_ptr<Dsm> _dsm;
     std::unique_ptr<HealthMonitor> _health;
     AdmissionParams _admission;
     bool _crashed = false;

@@ -87,7 +87,8 @@ MapManager::handleChannelArrival(NodeId peer)
             resp[0] = handleInvalidate(peer, payload);
             break;
           default:
-            resp[0] = err::INVAL;
+            // DSM protocol types (or garbage -> err::INVAL).
+            resp[0] = _kernel.dsmRpc(peer, type, payload, resp);
             break;
         }
         writeRecord(peer, channel::respOffset, req_seq, type, resp);

@@ -59,6 +59,13 @@ constexpr unsigned payloadWords = 6;
 constexpr std::uint32_t MAP_PAGE = 1;   //!< also used for REMAP
 constexpr std::uint32_t UNMAP_PAGE = 2;
 constexpr std::uint32_t INVALIDATE = 3;
+
+/** DSM protocol (dispatched to the kernel's Dsm service). */
+constexpr std::uint32_t DSM_GET = 4;    //!< requester -> home: fault
+constexpr std::uint32_t DSM_PUT = 5;    //!< home -> requester: grant
+constexpr std::uint32_t DSM_FETCH = 6;  //!< home -> owner: recall
+constexpr std::uint32_t DSM_WB = 7;     //!< owner -> home: writeback
+constexpr std::uint32_t DSM_INVAL = 8;  //!< home -> sharer: shootdown
 } // namespace channel
 
 /** One in-flight or queued kernel RPC. */
@@ -223,6 +230,13 @@ class MapManager
 
     /** Add kernel work to the current interrupt's accounting. */
     void addWork(std::uint64_t instructions) { _workAccum += instructions; }
+
+    /** Queue an RPC on the shared kernel channel toward @p peer (the
+     *  DSM service rides the same ordered, retransmitted path). */
+    void postRpc(NodeId peer, KernelRpc rpc)
+    {
+        sendRpc(peer, std::move(rpc));
+    }
 
     const std::vector<OutRecord> &outRecords() const { return _out; }
     const std::vector<InRecord> *inRecords(PageNum frame) const;

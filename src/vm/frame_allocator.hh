@@ -54,6 +54,8 @@ class FrameAllocator
     void
     free(PageNum frame)
     {
+        SHRIMP_ASSERT(frame >= _firstFrame,
+                      "free of reserved kernel frame ", frame);
         SHRIMP_ASSERT(frame < _numFrames && _allocated[frame],
                       "free of unallocated frame ", frame);
         SHRIMP_ASSERT(_pinCount[frame] == 0,
@@ -80,8 +82,21 @@ class FrameAllocator
         --_pinCount[frame];
     }
 
-    bool isPinned(PageNum frame) const { return _pinCount[frame] > 0; }
-    bool isAllocated(PageNum frame) const { return _allocated[frame]; }
+    bool
+    isPinned(PageNum frame) const
+    {
+        SHRIMP_ASSERT(frame < _numFrames, "frame ", frame,
+                      " out of range");
+        return _pinCount[frame] > 0;
+    }
+
+    bool
+    isAllocated(PageNum frame) const
+    {
+        SHRIMP_ASSERT(frame < _numFrames, "frame ", frame,
+                      " out of range");
+        return _allocated[frame];
+    }
     std::size_t freeFrames() const { return _freeList.size(); }
     PageNum numFrames() const { return _numFrames; }
 

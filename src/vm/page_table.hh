@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "mem/cache_policy.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace shrimp
@@ -62,6 +63,8 @@ class PageTable
     void
     map(PageNum vpage, const Pte &pte)
     {
+        SHRIMP_ASSERT(pte.frame != INVALID_PAGE,
+                      "mapping vpage ", vpage, " to an invalid frame");
         _entries[vpage] = pte;
     }
 

@@ -38,6 +38,8 @@ TEST(ChaosSoak, TenSeedsHoldInvariants)
         EXPECT_EQ(r.crashesInjected, p.crashes) << "seed " << seed;
         // Every crash must have been detected by at least one peer.
         EXPECT_GT(r.peersDeclaredDead, 0u) << "seed " << seed;
+        // The DSM phase actually ran its schedule.
+        EXPECT_GT(r.dsmOpsIssued, 0u) << "seed " << seed;
     }
 }
 
@@ -71,6 +73,9 @@ TEST(ChaosSoak, SameSeedIsDeterministic)
     EXPECT_EQ(a.misroutes, b.misroutes);
     EXPECT_EQ(a.retransmits, b.retransmits);
     EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.dsmOpsIssued, b.dsmOpsIssued);
+    EXPECT_EQ(a.dsmOpsHostdown, b.dsmOpsHostdown);
+    EXPECT_EQ(a.dsmRehomes, b.dsmRehomes);
 }
 
 //! Different seeds should produce observably different runs.

@@ -88,6 +88,54 @@ TEST(FrameAllocator, DoubleFreePanics)
     EXPECT_THROW(fa.free(f), std::logic_error);
 }
 
+TEST(FrameAllocator, ReservedAndOutOfRangeFramesPanic)
+{
+    FrameAllocator fa(2, 8);    // frames 0..1 reserved, 2..7 usable
+
+    // Kernel-reserved frames can never reach free/pin.
+    EXPECT_THROW(fa.free(0), std::logic_error);
+    EXPECT_THROW(fa.free(1), std::logic_error);
+    EXPECT_THROW(fa.pin(0), std::logic_error);
+
+    // Out-of-range frame numbers are rejected everywhere, including
+    // the const queries (no silent out-of-bounds indexing).
+    EXPECT_THROW(fa.free(8), std::logic_error);
+    EXPECT_THROW(fa.pin(100), std::logic_error);
+    EXPECT_THROW(fa.unpin(100), std::logic_error);
+    EXPECT_THROW((void)fa.isPinned(8), std::logic_error);
+    EXPECT_THROW((void)fa.isAllocated(8), std::logic_error);
+
+    // Misuse attempts leave the allocator fully usable.
+    PageNum f = *fa.alloc();
+    fa.pin(f);
+    EXPECT_TRUE(fa.isPinned(f));
+    fa.unpin(f);
+    fa.free(f);
+    EXPECT_EQ(fa.freeFrames(), 6u);
+}
+
+TEST(FrameAllocator, UnpinOfUnallocatedFramePanics)
+{
+    FrameAllocator fa(1, 8);
+    PageNum f = *fa.alloc();
+    EXPECT_THROW(fa.unpin(f), std::logic_error);    // never pinned
+}
+
+TEST(PageTable, MapToInvalidFramePanics)
+{
+    PageTable pt;
+    EXPECT_THROW(pt.map(5, Pte{INVALID_PAGE, true, true,
+                               CachePolicy::WRITE_BACK}),
+                 std::logic_error);
+    EXPECT_EQ(pt.find(5), nullptr);     // nothing half-installed
+
+    // Replacing a live mapping stays legal (pageIn and DSM both remap
+    // a page in place).
+    pt.map(5, Pte{100, true, true, CachePolicy::WRITE_BACK});
+    pt.map(5, Pte{101, false, true, CachePolicy::WRITE_THROUGH});
+    EXPECT_EQ(pt.find(5)->frame, 101u);
+}
+
 TEST(AddressSpace, AllocateMapsDistinctFrames)
 {
     FrameAllocator fa(1, 64);

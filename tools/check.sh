@@ -12,9 +12,13 @@
 #   --overload  sanitized overload soak: the full incast/all-to-all
 #            sweep through the congestion-collapse gate, plus chaos
 #            soaks with the overload burst phases cranked up
+#   --dsm    sanitized DSM gate: the Dsm + vm unit suites, the
+#            stencil/migratory bench through the latency/progress
+#            schema check, and a same-seed chaos-with-DSM determinism
+#            byte-compare
 #
-# With no stage flags, all four run (lint, asan, tsan, overload). A
-# trailing positional argument overrides the ASan build dir
+# With no stage flags, all five run (lint, asan, tsan, overload, dsm).
+# A trailing positional argument overrides the ASan build dir
 # (back-compat).
 set -eu
 
@@ -25,6 +29,7 @@ run_lint=0
 run_asan=0
 run_tsan=0
 run_overload=0
+run_dsm=0
 asan_build="$repo/build-asan"
 for arg in "$@"; do
     case "$arg" in
@@ -32,18 +37,20 @@ for arg in "$@"; do
       --asan) run_asan=1 ;;
       --tsan) run_tsan=1 ;;
       --overload) run_overload=1 ;;
+      --dsm) run_dsm=1 ;;
       -h|--help)
-        echo "usage: tools/check.sh [--lint] [--asan] [--tsan] [--overload] [asan-build-dir]"
+        echo "usage: tools/check.sh [--lint] [--asan] [--tsan] [--overload] [--dsm] [asan-build-dir]"
         exit 0
         ;;
       *) asan_build="$arg" ;;
     esac
 done
-if [ "$run_lint$run_asan$run_tsan$run_overload" = "0000" ]; then
+if [ "$run_lint$run_asan$run_tsan$run_overload$run_dsm" = "00000" ]; then
     run_lint=1
     run_asan=1
     run_tsan=1
     run_overload=1
+    run_dsm=1
 fi
 
 # ---------------------------------------------------------------- lint
@@ -185,6 +192,48 @@ if [ "$run_overload" = 1 ]; then
         exit 1
     }
     echo "check.sh: overload stage passed"
+fi
+
+# ----------------------------------------------------------------- dsm
+if [ "$run_dsm" = 1 ]; then
+    # Reuses the ASan build: the DSM protocol's callback plumbing is
+    # exactly where lifetime bugs would hide.
+    cmake -B "$asan_build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSHRIMP_SANITIZE=address,undefined
+    cmake --build "$asan_build" -j "$jobs" \
+        --target dsm_test vm_test bench_dsm shrimp_explore \
+        shrimp_validate
+
+    # The coherence/failure unit suites and the hardened VM layer, all
+    # sanitized.
+    cd "$asan_build"
+    ASAN_OPTIONS=detect_leaks=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ctest --output-on-failure -j "$jobs" \
+        -R '^Dsm\.|^PageTable\.|^FrameAllocator\.|^AddressSpace\.'
+
+    # Stencil + migratory drivers through the latency/progress gate.
+    cd "$asan_build/bench"
+    rm -f BENCH_dsm.json
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ./bench_dsm > /dev/null
+    "$asan_build/tools/shrimp_validate" dsm BENCH_dsm.json
+
+    # Chaos with the DSM phase cranked up: directory invariants hold
+    # under crashes and flaps, and the run stays a pure function of
+    # the seed (same seed twice -> byte-identical reports).
+    cd "$asan_build"
+    ./tools/shrimp_explore chaos --seed 21 --json check_dsm21a.json \
+        > /dev/null
+    ./tools/shrimp_explore chaos --seed 21 --json check_dsm21b.json \
+        > /dev/null
+    ./tools/shrimp_validate chaos check_dsm21a.json
+    cmp check_dsm21a.json check_dsm21b.json || {
+        echo "check.sh: chaos-with-DSM soak is not deterministic" >&2
+        exit 1
+    }
+    echo "check.sh: dsm stage passed"
 fi
 
 echo "check.sh: all requested stages passed"

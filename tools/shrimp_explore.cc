@@ -262,6 +262,11 @@ cmdChaos(int argc, char **argv)
                 static_cast<unsigned long long>(r.watchdogStalls));
     std::printf("  pairs exact        : %llu\n",
                 static_cast<unsigned long long>(r.pairsVerifiedExact));
+    std::printf("  dsm ops/hostdown   : %llu / %llu\n",
+                static_cast<unsigned long long>(r.dsmOpsIssued),
+                static_cast<unsigned long long>(r.dsmOpsHostdown));
+    std::printf("  dsm re-homes       : %llu\n",
+                static_cast<unsigned long long>(r.dsmRehomes));
     std::printf("  stats fingerprint  : %016llx\n",
                 static_cast<unsigned long long>(r.statsFingerprint));
     std::printf("  invariants         : %s\n",
@@ -312,6 +317,9 @@ cmdChaos(int argc, char **argv)
         field("pacedRetransmits", r.pacedRetransmits);
         field("watchdogStalls", r.watchdogStalls);
         field("pairsVerifiedExact", r.pairsVerifiedExact);
+        field("dsmOpsIssued", r.dsmOpsIssued);
+        field("dsmOpsHostdown", r.dsmOpsHostdown);
+        field("dsmRehomes", r.dsmRehomes);
         field("endTick", r.endTick, true);
         out << "  }\n}\n";
     }

@@ -9,6 +9,7 @@
  *   shrimp_validate stats FILE...     flat stats JSON object
  *   shrimp_validate chaos FILE...     chaos-soak report JSON
  *   shrimp_validate overload FILE...  BENCH_overload.json + collapse gate
+ *   shrimp_validate dsm FILE...       BENCH_dsm.json + latency/progress gates
  *
  * Exit status 0 iff every file parses and conforms.
  */
@@ -194,7 +195,8 @@ validateChaos(const std::string &file, const Value &root)
           "misroutes", "routeAroundDrops", "retransmits",
           "overloadBurstsInjected", "sendsRejected", "ecnMarksSeen",
           "ecnEchoesSent", "pacedRetransmits", "watchdogStalls",
-          "pairsVerifiedExact", "endTick"}) {
+          "pairsVerifiedExact", "dsmOpsIssued", "dsmOpsHostdown",
+          "dsmRehomes", "endTick"}) {
         const Value *c = counters->find(key);
         if (!c || !c->isNumber())
             return fail(file,
@@ -251,6 +253,54 @@ validateOverload(const std::string &file, const Value &root)
     }
 }
 
+/**
+ * BENCH_dsm.json: the bench schema plus DSM-specific gates. Both the
+ * fault-driven stencil and the migratory-counter drivers must be
+ * present, each reporting a sane fault-latency distribution (p99 no
+ * lower than p50) and forward progress (pages_per_s > 0).
+ */
+void
+validateDsm(const std::string &file, const Value &root)
+{
+    int before = g_errors;
+    validateBench(file, root);
+    if (g_errors != before)
+        return;
+    const Value *results = root.find("results");
+    bool have_stencil = false, have_migratory = false;
+    for (const Value &r : results->arr) {
+        const Value *name = r.find("name");
+        bool stencil = name->str.compare(0, 7, "Stencil") == 0;
+        bool migratory = name->str.compare(0, 9, "Migratory") == 0;
+        if (!stencil && !migratory)
+            continue;
+        have_stencil |= stencil;
+        have_migratory |= migratory;
+        const Value *counters = r.find("counters");
+        const Value *p50 = counters->find("fault_p50_us");
+        const Value *p99 = counters->find("fault_p99_us");
+        const Value *rate = counters->find("pages_per_s");
+        if (!p50 || !p50->isNumber())
+            return fail(file, name->str + " has no fault_p50_us");
+        if (!p99 || !p99->isNumber())
+            return fail(file, name->str + " has no fault_p99_us");
+        if (!rate || !rate->isNumber())
+            return fail(file, name->str + " has no pages_per_s");
+        if (p99->number < p50->number) {
+            return fail(file, name->str + " fault p99 " +
+                                  std::to_string(p99->number) +
+                                  " below p50 " +
+                                  std::to_string(p50->number));
+        }
+        if (rate->number <= 0.0)
+            return fail(file, name->str + " made no page progress");
+    }
+    if (!have_stencil)
+        return fail(file, "no Stencil results");
+    if (!have_migratory)
+        return fail(file, "no Migratory results");
+}
+
 } // namespace
 
 int
@@ -259,13 +309,14 @@ main(int argc, char **argv)
     if (argc < 3) {
         std::fprintf(
             stderr,
-            "usage: %s {trace|bench|stats|chaos|overload} FILE...\n",
+            "usage: %s {trace|bench|stats|chaos|overload|dsm} "
+            "FILE...\n",
             argv[0]);
         return 2;
     }
     std::string mode = argv[1];
     if (mode != "trace" && mode != "bench" && mode != "stats" &&
-        mode != "chaos" && mode != "overload") {
+        mode != "chaos" && mode != "overload" && mode != "dsm") {
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         return 2;
     }
@@ -292,6 +343,8 @@ main(int argc, char **argv)
             validateChaos(path, root);
         else if (mode == "overload")
             validateOverload(path, root);
+        else if (mode == "dsm")
+            validateDsm(path, root);
         else
             validateStats(path, root);
         if (g_errors == 0)
