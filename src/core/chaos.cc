@@ -265,6 +265,33 @@ runChaos(const ChaosParams &p)
         }
     }
 
+    // Partition/heal cycles, drawn after everything else so the
+    // earlier schedules are seed-stable against the knob. One node is
+    // isolated per cycle; each cycle lives in its own slice of the
+    // run so cuts never overlap, and the outage outlives the dead
+    // timeout so the majority's detectors really fire before the heal.
+    struct PartEv
+    {
+        Tick down, up;
+        NodeId isolated;
+    };
+    std::vector<PartEv> parts;
+    if (p.partitions > 0) {
+        Tick slice = p.duration / p.partitions;
+        for (unsigned i = 0; i < p.partitions; ++i) {
+            Tick len = cfg.health.deadTimeout + 2 * ONE_MS +
+                       rng.below(ONE_MS);
+            if (len + ONE_MS >= slice)
+                len = slice > 2 * ONE_MS ? slice - ONE_MS : slice / 2;
+            Tick slack = slice > len + ONE_MS ? slice - len - ONE_MS
+                                              : 1;
+            Tick at = i * slice + rng.below(slack);
+            parts.push_back(
+                PartEv{at, at + len,
+                       static_cast<NodeId>(rng.below(n))});
+        }
+    }
+
     // ---- install the schedule on the event queue ----
 
     for (const WriteEv &w : writes) {
@@ -340,11 +367,33 @@ runChaos(const ChaosParams &p)
             sys.backplane().router(b).setLinkDead(bp, false);
         }, f.up, EventPriority::DEFAULT, "chaos link up");
     }
+    for (const PartEv &pe : parts) {
+        NodeId iso = pe.isolated;
+        eq.scheduleFn(
+            [&sys, iso, n, &report]() {
+                std::vector<NodeId> minority{iso};
+                std::vector<NodeId> majority;
+                for (NodeId id = 0; id < n; ++id) {
+                    if (id != iso)
+                        majority.push_back(id);
+                }
+                ++report.partitionsInjected;
+                sys.partition(minority, majority);
+            },
+            pe.down, EventPriority::DEFAULT, "chaos partition");
+        eq.scheduleFn(
+            [&sys, &report]() {
+                ++report.healsInjected;
+                sys.heal();
+            },
+            pe.up, EventPriority::DEFAULT, "chaos heal");
+    }
 
     // ---- run: fault phase, forced healing, settle, quiesce ----
 
     sys.runFor(p.duration);
 
+    sys.heal();     // a partition cycle may still be in force
     for (NodeId id = 0; id < n; ++id) {
         for (Router::Port port : {Router::EAST, Router::WEST, Router::NORTH,
                           Router::SOUTH}) {
@@ -437,7 +486,12 @@ runChaos(const ChaosParams &p)
             // An overload burst may legitimately shed load at the
             // sender (outgoing FIFO overflow drop), so a source that
             // ever dropped cannot promise convergence -- only safety.
-            bool exact = !crashedEver[s] && !crashedEver[d] &&
+            // A partition cycle degrades every pair, not just the
+            // isolated node's: each recovery bumps incarnations
+            // machine-wide, and every bump resets channels at every
+            // peer, legitimately fencing writes queued across it.
+            bool exact = p.partitions == 0 &&
+                         !crashedEver[s] && !crashedEver[d] &&
                          !sys.kernel(s).peerFailed(d) && mappingAlive &&
                          !deliberate(s, d) &&
                          sys.node(s).ni.sendOverflowDrops() == 0;
@@ -534,6 +588,8 @@ runChaos(const ChaosParams &p)
         report.heartbeatsSent += h->heartbeatsSent();
         report.peersDeclaredDead += h->peersDeclaredDead();
         report.peersRecovered += h->peersRecovered();
+        report.partitionsDeclared += h->partitionsDeclared();
+        report.staleEpochRejects += h->staleEpochRejects();
         Router &router = sys.backplane().router(id);
         report.misroutes += router.misroutes();
         report.routeAroundDrops += router.routeAroundDrops();
@@ -547,8 +603,26 @@ runChaos(const ChaosParams &p)
         report.ecnMarksSeen += ni.ecnMarksSeen();
         report.ecnEchoesSent += ni.ecnEchoesSent();
         report.watchdogStalls += ni.watchdogStalls();
-        if (p.dsmPages > 0)
+        report.niStaleEpochDrops += ni.staleEpochDrops();
+        if (p.dsmPages > 0) {
             report.dsmRehomes += sys.kernel(id).dsm()->rehomes();
+            report.fencedWritebacks +=
+                sys.kernel(id).dsm()->fencedWritebacks();
+        }
+    }
+
+    // Fence accounting: every layered drop (NI channel-epoch drop,
+    // DSM fenced writeback) must have been reported to the health
+    // monitor's machine-wide staleEpochRejects counter, so that one
+    // number fully accounts for all fenced traffic.
+    if (report.niStaleEpochDrops + report.fencedWritebacks >
+        report.staleEpochRejects) {
+        fail(report,
+             "fenced drops unaccounted: ni " +
+                 std::to_string(report.niStaleEpochDrops) + " + dsm " +
+                 std::to_string(report.fencedWritebacks) +
+                 " > staleEpochRejects " +
+                 std::to_string(report.staleEpochRejects));
     }
 
     std::ostringstream stats;

@@ -71,6 +71,17 @@ struct ChaosParams
      */
     unsigned dsmPages = 4;
     unsigned dsmOpsPerNode = 6;
+    /**
+     * Network partition/heal cycles: each cycle isolates one
+     * rng-chosen node behind a full two-way cut-set for longer than
+     * the dead timeout, so the majority declares it DEAD while the
+     * minority side stalls at SUSPECT for lack of quorum; the heal
+     * then soaks epoch-fenced reintegration (incarnation bumps,
+     * stale-stream fencing, DSM re-homing). Cycles are laid out in
+     * disjoint slices of the run so they never overlap. 0 disables
+     * the phase.
+     */
+    unsigned partitions = 0;
     /** Record an event trace and write it here ("" = no trace). */
     std::string tracePath;
 };
@@ -100,6 +111,15 @@ struct ChaosReport
     std::uint64_t dsmOpsIssued = 0;
     std::uint64_t dsmOpsHostdown = 0;
     std::uint64_t dsmRehomes = 0;
+    std::uint64_t partitionsInjected = 0;
+    std::uint64_t healsInjected = 0;
+    /** Quorum stalls: a minority side refusing to declare DEAD. */
+    std::uint64_t partitionsDeclared = 0;
+    /** Machine-wide total of fenced drops (health admit rejects +
+     *  NI channel-epoch drops + DSM fenced writebacks). */
+    std::uint64_t staleEpochRejects = 0;
+    std::uint64_t niStaleEpochDrops = 0;
+    std::uint64_t fencedWritebacks = 0;
     Tick endTick = 0;
     /** FNV-1a over the final JSON stats dump: the determinism probe. */
     std::uint64_t statsFingerprint = 0;

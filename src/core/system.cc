@@ -87,6 +87,45 @@ ShrimpSystem::restartNode(NodeId id)
     n.kernel.restart();
 }
 
+unsigned
+ShrimpSystem::partition(const std::vector<NodeId> &a,
+                        const std::vector<NodeId> &b)
+{
+    for (NodeId x : a) {
+        for (NodeId y : b) {
+            SHRIMP_ASSERT(x != y, "node ", x,
+                          " on both sides of the partition");
+        }
+    }
+    auto cut = [this](NodeId from, NodeId to) {
+        Router::Port port = _backplane->portToward(from, to);
+        _backplane->router(from).setLinkDead(port, true);
+        _backplane->router(from).forceLinkDown(port);
+        _cutLinks.emplace_back(from, port);
+    };
+    unsigned links = 0;
+    for (NodeId x : a) {
+        for (NodeId y : b) {
+            if (_backplane->hopDistance(x, y) != 1)
+                continue;
+            cut(x, y);
+            cut(y, x);
+            links += 2;
+        }
+    }
+    return links;
+}
+
+void
+ShrimpSystem::heal()
+{
+    for (auto [node, port] : _cutLinks) {
+        _backplane->router(node).setLinkDead(port, false);
+        _backplane->router(node).forceLinkUp(port);
+    }
+    _cutLinks.clear();
+}
+
 void
 ShrimpSystem::startAll()
 {

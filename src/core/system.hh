@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "core/config.hh"
@@ -62,6 +63,26 @@ class ShrimpSystem
     bool nodeCrashed(NodeId id) { return kernel(id).crashed(); }
 
     /**
+     * Partition the machine: cut both directions of every mesh link
+     * whose endpoints fall on opposite sides of the {@p a, @p b}
+     * split. Each directed link is both advertised dead to the
+     * fault-tolerant router (setLinkDead, so route-around exhausts
+     * into routeAroundDrops) and forced down at the wire
+     * (forceLinkDown, so traffic dies in plain dimension-order mode
+     * too). The sets must be disjoint; for a total partition they
+     * should cover all nodes. Cuts accumulate across calls until
+     * heal(). @return the number of directed links cut by this call.
+     */
+    unsigned partition(const std::vector<NodeId> &a,
+                       const std::vector<NodeId> &b);
+
+    /** Undo every cut made by partition() and kick parked traffic. */
+    void heal();
+
+    /** Are any partition() cuts currently in force? */
+    bool partitioned() const { return !_cutLinks.empty(); }
+
+    /**
      * Run until every process on every node has exited, a hard event
      * cap is hit, or time exceeds @p max_time.
      *
@@ -88,6 +109,8 @@ class ShrimpSystem
     std::unique_ptr<trace::Tracer> _tracer;
     std::unique_ptr<MeshBackplane> _backplane;
     std::vector<std::unique_ptr<Node>> _nodes;
+    /** Directed links cut by partition(), undone by heal(). */
+    std::vector<std::pair<NodeId, Router::Port>> _cutLinks;
 };
 
 } // namespace shrimp

@@ -62,4 +62,24 @@ MeshBackplane::setLinkFaults(const FaultModel::Params &faults)
     }
 }
 
+Router::Port
+MeshBackplane::portToward(NodeId from, NodeId to) const
+{
+    SHRIMP_ASSERT(hopDistance(from, to) == 1,
+                  "portToward needs mesh-adjacent nodes, got ", from,
+                  " and ", to);
+    if (xOf(to) > xOf(from))
+        return Router::EAST;
+    if (xOf(to) < xOf(from))
+        return Router::WEST;
+    return yOf(to) > yOf(from) ? Router::SOUTH : Router::NORTH;
+}
+
+void
+MeshBackplane::setLinkFaults(NodeId from, NodeId to,
+                             const FaultModel::Params &faults)
+{
+    _routers.at(from)->setFaultModel(portToward(from, to), faults);
+}
+
 } // namespace shrimp

@@ -45,13 +45,23 @@ class FaultModel
          *  than one serialization time lets successors overtake. */
         Tick reorderDelay = 2 * ONE_US;
         std::uint64_t seed = 0x0f00d5eed;
+        /**
+         * Deterministic outage window [downFrom, downUntil) for THIS
+         * direction only. A FaultModel governs one directed link, so
+         * attaching a window to just one of a link's two models gives
+         * an asymmetric failure -- A's packets to B die while B still
+         * reaches A -- a state sampled outages practically never hold
+         * long enough to exercise. downUntil == 0 disables the window.
+         */
+        Tick downFrom = 0;
+        Tick downUntil = 0;
 
         bool
         any() const
         {
             return dropProb > 0.0 || corruptProb > 0.0 ||
                    duplicateProb > 0.0 || reorderProb > 0.0 ||
-                   linkDownProb > 0.0;
+                   linkDownProb > 0.0 || downUntil > downFrom;
         }
     };
 
@@ -84,6 +94,14 @@ class FaultModel
                         "using the default window instead");
             p.linkDownTicks = 100 * ONE_US;
         }
+        if (p.downUntil != 0 && p.downUntil < p.downFrom) {
+            SHRIMP_WARN("FaultModel: inverted forced-outage window [",
+                        p.downFrom, ", ", p.downUntil,
+                        "), swapping the bounds");
+            Tick lo = p.downUntil;
+            p.downUntil = p.downFrom;
+            p.downFrom = lo;
+        }
         return p;
     }
 
@@ -100,13 +118,20 @@ class FaultModel
 
     FaultModel(const Params &params, std::uint64_t link_salt)
         : _params(validated(params)),
-          _rng(_params.seed ^ (link_salt * 0x9e3779b97f4a7c15ULL))
+          _rng(_params.seed ^ (link_salt * 0x9e3779b97f4a7c15ULL)),
+          _forcedSince(_params.downFrom),
+          _forcedUntil(_params.downUntil)
     {}
 
     const Params &params() const { return _params; }
 
     /** Is the link inside an outage window at @p now? */
-    bool linkDown(Tick now) const { return now < _downUntil; }
+    bool
+    linkDown(Tick now) const
+    {
+        return now < _downUntil ||
+               (now >= _forcedSince && now < _forcedUntil);
+    }
 
     /**
      * Has the link been continuously down for at least @p age ticks at
@@ -116,11 +141,39 @@ class FaultModel
     bool
     downLongerThan(Tick now, Tick age) const
     {
-        return linkDown(now) && now - _downSince >= age;
+        if (now >= _forcedSince && now < _forcedUntil &&
+            now - _forcedSince >= age) {
+            return true;
+        }
+        return now < _downUntil && now - _downSince >= age;
     }
 
     /** Start of the current outage window (valid while linkDown()). */
     Tick downSince() const { return _downSince; }
+
+    /**
+     * Force this direction of the link down from @p now for
+     * @p duration ticks (0 = until forceUp()). The reverse direction
+     * has its own FaultModel and keeps delivering: this is the runtime
+     * primitive behind asymmetric link failures and partition
+     * cut-sets. Extends (never shortens) an already-forced outage.
+     */
+    void
+    forceDown(Tick now, Tick duration = 0)
+    {
+        if (!(now >= _forcedSince && now < _forcedUntil))
+            _forcedSince = now;
+        _forcedUntil = duration ? now + duration : MAX_TICK;
+    }
+
+    /** End a forced outage at @p now (sampled outages are unaffected
+     *  and still expire on their own). */
+    void
+    forceUp(Tick now)
+    {
+        if (_forcedUntil > now)
+            _forcedUntil = now;
+    }
 
     /**
      * Decide the fate of one packet transmitted at @p now. Each fault
@@ -174,6 +227,10 @@ class FaultModel
     Rng _rng;
     Tick _downUntil = 0;
     Tick _downSince = 0;
+    /** Forced (deterministic) outage window, kept apart from the
+     *  sampled one so forceUp() cannot cancel a sampled outage. */
+    Tick _forcedSince = 0;
+    Tick _forcedUntil = 0;
 };
 
 } // namespace shrimp

@@ -57,8 +57,18 @@ struct NetPacket
     bool reliable = false;      //!< carries the extension
     Kind kind = Kind::DATA;
     /** DATA: per src->dst sequence number. ACK: next expected seq
-     *  (everything below it is acknowledged). NACK: the missing seq. */
+     *  (everything below it is acknowledged). NACK: the missing seq.
+     *  HEARTBEAT: the sender's packed (incarnation, view) stamp. */
     std::uint64_t rseq = 0;
+    /**
+     * Channel epoch: the sender's kernel incarnation number at
+     * injection time (0 = epoch fencing off). Receivers drop packets
+     * stamped from an older life of the sender and resynchronize the
+     * reliability channel when a newer life appears, so a healed
+     * partition cannot resurrect a pre-partition stream. Folded into
+     * the reliability header's padding, so wireBytes() is unchanged.
+     */
+    std::uint32_t srcEpoch = 0;
 
     /**
      * ECN-style congestion signal. On DATA packets a router (queue
@@ -104,6 +114,7 @@ struct NetPacket
         if (reliable) {
             c.updateInt(static_cast<std::uint64_t>(kind), 1);
             c.updateInt(rseq, 8);
+            c.updateInt(srcEpoch, 4);
         }
         if (!payload.empty())
             c.update(payload.data(), payload.size());

@@ -64,6 +64,31 @@ Router::setFaultModel(Port out, const FaultModel::Params &params)
 }
 
 void
+Router::forceLinkDown(Port out, Tick duration)
+{
+    SHRIMP_ASSERT(out != LOCAL, "the ejection channel cannot die");
+    if (!_faults[out]) {
+        // A quiet model: no sampled faults, just the forced window.
+        std::uint64_t salt =
+            (static_cast<std::uint64_t>(_y) << 20) |
+            (static_cast<std::uint64_t>(_x) << 4) |
+            static_cast<std::uint64_t>(out);
+        _faults[out] =
+            std::make_unique<FaultModel>(FaultModel::Params{}, salt);
+    }
+    _faults[out]->forceDown(curTick(), duration);
+}
+
+void
+Router::forceLinkUp(Port out)
+{
+    SHRIMP_ASSERT(out != LOCAL, "the ejection channel cannot die");
+    if (_faults[out])
+        _faults[out]->forceUp(curTick());
+    scheduleAdvance(curTick());
+}
+
+void
 Router::connect(Port out, Router *nbr, Port nbr_in)
 {
     SHRIMP_ASSERT(out != LOCAL, "cannot wire the local port");
@@ -288,6 +313,10 @@ Router::advance()
             eventQueue().scheduleFn(
                 [this, p]() { releaseCredit(static_cast<Port>(p)); },
                 now, EventPriority::DEFAULT, "no-route drop");
+            // The drop freed the head of this queue; packets behind
+            // it must be re-examined now or they stall until some
+            // unrelated event happens to re-arm the advance loop.
+            scheduleAdvance(now);
             continue;
         }
 

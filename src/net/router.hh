@@ -156,6 +156,20 @@ class Router : public SimObject
     /** Is @p out externally advertised dead? */
     bool linkDeadExternally(Port out) const { return _linkDeadExt[out]; }
 
+    /**
+     * Force the directed link behind @p out into an outage starting
+     * now, for @p duration ticks (0 = until forceLinkUp). Unlike
+     * setLinkDead -- a routing advertisement only honored in
+     * fault-tolerant mode -- this kills the wire itself: transmissions
+     * die as linkDownDrops in every routing mode, and only in this
+     * direction. Lazily attaches a quiet FaultModel when none is
+     * configured.
+     */
+    void forceLinkDown(Port out, Tick duration = 0);
+
+    /** End a forced outage on @p out and kick parked traffic. */
+    void forceLinkUp(Port out);
+
     std::uint64_t misroutes() const { return _misroutes.value(); }
     std::uint64_t ecnMarks() const { return _ecnMarks.value(); }
     std::uint64_t routeAroundDrops() const

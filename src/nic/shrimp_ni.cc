@@ -85,6 +85,7 @@ ShrimpNi::ShrimpNi(EventQueue &eq, std::string name, NodeId node,
     _stats.addStat(&_ecnMarksSeen);
     _stats.addStat(&_ecnEchoesSent);
     _stats.addStat(&_watchdogStalls);
+    _stats.addStat(&_staleEpochDrops);
     _stats.addStat(&_deliveryLatency);
     _stats.addStat(&_deliveryLatencyHist);
 
@@ -288,8 +289,13 @@ ShrimpNi::emitPacket(NodeId dst, Addr dst_addr,
         }
         return;
     }
-    if (pkt.reliable)
-        pkt.rseq = _retx->assignSeq(dst);
+    // Reliable DATA is NOT stamped with (rseq, srcEpoch) here: the
+    // packet can sit in the outgoing FIFO across a channel reset or an
+    // incarnation bump, and a pre-assigned stamp would enter the fresh
+    // window as an orphan of the previous life -- a sequence the
+    // receiver (resynchronized to expect 0) can never ACK. tryInject()
+    // stamps and re-seals at the moment the packet actually enters the
+    // retransmit window.
     pkt.sealCrc();
     pkt.injectedAt = curTick();
     pkt.seq = _nextSeq++;
@@ -400,8 +406,15 @@ ShrimpNi::tryInject()
         t->flowStep(now, name(), "packet", "inject", pkt.traceId,
                     {trace::arg("wireBytes", pkt.wireBytes())});
     }
-    if (track)
+    if (track) {
+        // Stamp the reliability header at the instant the packet joins
+        // the window, so sequence numbering and the channel epoch are
+        // always those of the stream it actually travels in.
+        pkt.rseq = _retx->assignSeq(pkt.dstNode);
+        pkt.srcEpoch = _chanEpoch;
+        pkt.sealCrc();
         _retx->record(pkt);
+    }
     if (_corruptNext) {
         // Test hook: corrupt "on the wire", after the retransmit
         // buffer has recorded its (clean) copy.
@@ -588,12 +601,40 @@ ShrimpNi::sinkDeliver(NetPacket &&pkt)
         return;
     }
 
+    // Epoch gate (partition fencing): a reliable packet stamped from
+    // an older life of its sender is a relic of a healed partition or
+    // a pre-restart stream; fence it before it can touch channel or
+    // memory state. A newer stamp means the sender started a new life
+    // and its stream restarts from sequence 0, so resynchronize our
+    // receive state for that source.
+    if (pkt.reliable && pkt.srcEpoch != 0 && pkt.srcNode < _rx.size()) {
+        RxState &rx = _rx[pkt.srcNode];
+        if (rx.epoch != 0 && pkt.srcEpoch < rx.epoch) {
+            ++_staleEpochDrops;
+            if (auto *t = eventQueue().tracer(); t && pkt.traceId) {
+                t->flowEnd(curTick(), name(), "packet", "dropped",
+                           pkt.traceId,
+                           {trace::arg("reason", "staleEpoch")});
+            }
+            SHRIMP_DTRACE("Nic", curTick(), name(),
+                          "fenced packet from node ", pkt.srcNode,
+                          " epoch ", pkt.srcEpoch, " < ", rx.epoch);
+            if (onStaleEpochDrop)
+                onStaleEpochDrop(pkt.srcNode);
+            return;
+        }
+        if (pkt.srcEpoch > rx.epoch) {
+            rx = RxState{};
+            rx.epoch = pkt.srcEpoch;
+        }
+    }
+
     // Liveness keepalives feed the health service directly; they are
     // meaningful even when the reliability layer is off.
     if (pkt.reliable && pkt.kind == NetPacket::Kind::HEARTBEAT) {
         ++_heartbeatsForwarded;
         if (onHeartbeat)
-            onHeartbeat(pkt.srcNode);
+            onHeartbeat(pkt.srcNode, pkt.rseq);
         return;
     }
 
@@ -741,6 +782,7 @@ ShrimpNi::makeControl(NetPacket::Kind kind, NodeId dst,
     pkt.reliable = true;
     pkt.kind = kind;
     pkt.rseq = rseq;
+    pkt.srcEpoch = _chanEpoch;
     pkt.sealCrc();
     pkt.injectedAt = curTick();
     pkt.seq = _nextSeq++;
@@ -869,11 +911,28 @@ ShrimpNi::handleChannelFailure(NodeId dst)
 }
 
 void
-ShrimpNi::sendHeartbeat(NodeId dst)
+ShrimpNi::sendHeartbeat(NodeId dst, std::uint64_t stamp)
 {
     if (_crashed)
         return;
-    queueControl(makeControl(NetPacket::Kind::HEARTBEAT, dst, 0));
+    queueControl(makeControl(NetPacket::Kind::HEARTBEAT, dst, stamp));
+}
+
+void
+ShrimpNi::startNewEpoch(std::uint32_t epoch)
+{
+    if (epoch == _chanEpoch)
+        return;
+    _chanEpoch = epoch;
+    if (!_params.reliability.enabled)
+        return;
+    // Restart every outgoing stream at seq 0: receivers resynchronize
+    // when they see the higher srcEpoch, so nothing from the previous
+    // life can interleave with the new streams.
+    for (NodeId peer = 0; peer < _rx.size(); ++peer) {
+        if (peer != _node)
+            _retx->resetChannel(peer);
+    }
 }
 
 void
@@ -901,7 +960,13 @@ ShrimpNi::resetChannel(NodeId peer)
     if (!_params.reliability.enabled)
         return;
     _retx->resetChannel(peer);
-    _rx.at(peer) = RxState{};
+    // Receive state is deliberately left alone: resynchronization is
+    // the epoch gate's job (sinkDeliver), driven by the srcEpoch of
+    // arriving packets. The data plane often resynchronizes to a
+    // peer's new life before the health stamp propagates; zeroing
+    // `expected` here would clobber such a stream mid-flight, and the
+    // receiver would then NACK for sequences the sender has already
+    // retired -- a wedge only a full retry-budget death can clear.
 }
 
 unsigned
@@ -942,9 +1007,15 @@ ShrimpNi::setCrashed(bool crashed)
         _draining = false;
         // Drop every retransmit window/deadline: a dead node must not
         // keep its timer alive queueing retransmissions nobody sends.
+        // Unlike resetChannel(), a power-fail wipes the receive side
+        // too -- the chip's stream state is simply gone. A fresh
+        // RxState (epoch 0) is correct: the first packet carrying any
+        // srcEpoch > 0 resynchronizes it.
         if (_params.reliability.enabled) {
-            for (NodeId peer = 0; peer < _rx.size(); ++peer)
-                resetChannel(peer);
+            for (NodeId peer = 0; peer < _rx.size(); ++peer) {
+                _retx->resetChannel(peer);
+                _rx.at(peer) = RxState{};
+            }
         }
         _ctrl.clear();
         _outFifo.clear();
@@ -966,11 +1037,14 @@ ShrimpNi::setCrashed(bool crashed)
         return;
     }
     // Restart: a freshly booted NI. All reliability channels restart
-    // from sequence 0 in both directions; peers resynchronize when
-    // their health service sees us recover and resets their side.
+    // from sequence 0 in both directions (full two-sided wipe, like
+    // the crash path); peers resynchronize when our restarted health
+    // service bumps the incarnation and new-epoch packets arrive.
     if (_params.reliability.enabled) {
-        for (NodeId peer = 0; peer < _rx.size(); ++peer)
-            resetChannel(peer);
+        for (NodeId peer = 0; peer < _rx.size(); ++peer) {
+            _retx->resetChannel(peer);
+            _rx.at(peer) = RxState{};
+        }
     }
     noteProgress();     // a reboot is a fresh watchdog epoch
     _router.sinkReadyAgain();

@@ -172,14 +172,29 @@ class ShrimpNi : public SimObject,
      */
     std::function<void(NodeId dst, unsigned halves)> onMappingError;
 
-    /** A HEARTBEAT keepalive arrived (fed to the health service). */
-    std::function<void(NodeId src)> onHeartbeat;
+    /** A HEARTBEAT keepalive arrived carrying the sender's packed
+     *  (incarnation, view) stamp (fed to the health service). */
+    std::function<void(NodeId src, std::uint64_t stamp)> onHeartbeat;
+
+    /** A reliable packet was fenced: it came from an older life of
+     *  its sender (the kernel rolls this into staleEpochRejects). */
+    std::function<void(NodeId src)> onStaleEpochDrop;
 
     // ---- liveness / failure support ----
 
     /** Emit one HEARTBEAT toward @p dst via the control queue (jumps
-     *  the FIFO and the retransmit window; works with reliability off). */
-    void sendHeartbeat(NodeId dst);
+     *  the FIFO and the retransmit window; works with reliability
+     *  off), carrying @p stamp in the rseq field. */
+    void sendHeartbeat(NodeId dst, std::uint64_t stamp);
+
+    /**
+     * Enter channel epoch @p epoch (the kernel's incarnation number):
+     * outgoing packets are stamped with it, and every outgoing
+     * reliability stream restarts from sequence 0 -- receivers see the
+     * newer epoch and resynchronize, while anything still in flight
+     * from the previous epoch is fenced on arrival.
+     */
+    void startNewEpoch(std::uint32_t epoch);
 
     /**
      * Power-fail the chip (or bring it back). Crashed: all queued
@@ -287,6 +302,12 @@ class ShrimpNi : public SimObject,
     /** Is the NI currently inside a flagged stall? */
     bool progressStalled() const { return _stalled; }
 
+    /** Reliable packets fenced for carrying a stale channel epoch. */
+    std::uint64_t staleEpochDrops() const
+    {
+        return _staleEpochDrops.value();
+    }
+
     /** Control-queue depth (ACKs/NACKs/retransmissions pending). */
     std::size_t controlQueueDepth() const { return _ctrl.size(); }
 
@@ -392,6 +413,9 @@ class ShrimpNi : public SimObject,
         /** Congestion observed (marked packet, or our FIFO nearly
          *  full); echoed and cleared by the next outgoing ACK. */
         bool ecnPending = false;
+        /** Channel epoch of the sender life this state belongs to
+         *  (0 = epoch fencing unused). Survives channel resets. */
+        std::uint32_t epoch = 0;
     };
 
     bool _accepting = true;     //!< incoming flow-control state
@@ -402,6 +426,9 @@ class ShrimpNi : public SimObject,
     bool _crashed = false;      //!< node power-failed (crashNode)
     /** Bumped on crash: orphans in-flight drain-burst completions. */
     std::uint64_t _epoch = 0;
+    /** Channel epoch stamped into outgoing packets (startNewEpoch);
+     *  0 until the kernel's health service sets it. */
+    std::uint32_t _chanEpoch = 0;
     Tick _nextInjectOk = 0;
     std::uint64_t _nextSeq = 0;
 
@@ -473,6 +500,9 @@ class ShrimpNi : public SimObject,
         "ecnEchoesSent", "ACKs sent carrying a congestion echo"};
     stats::Counter _watchdogStalls{
         "watchdogStalls", "no-forward-progress windows flagged"};
+    stats::Counter _staleEpochDrops{
+        "staleEpochDrops",
+        "reliable packets fenced: stale sender channel epoch"};
     stats::Distribution _deliveryLatency{
         "deliveryLatency", "injection-to-memory latency (ticks)"};
     stats::Histogram _deliveryLatencyHist{

@@ -54,6 +54,7 @@ Dsm::Dsm(Kernel &kernel, const DsmConfig &cfg)
     _stats.addStat(&_rehomes);
     _stats.addStat(&_hostdown);
     _stats.addStat(&_pagesSent);
+    _stats.addStat(&_fencedWritebacks);
     _stats.addStat(&_faultLatency);
 
     // The deliberate-DMA engine reports completion through a single
@@ -481,6 +482,11 @@ Dsm::grantWrite(std::uint32_t page)
     bool upgrade = h.haveCopy && contains(d.sharers, h.requester);
     d.sharers.clear();
     d.owner = h.requester;
+    // Bind the grant to the requester's current life: only that
+    // life's writeback may land in the home frame.
+    d.granteeIncarnation = h.requester == self
+                               ? _kernel.selfIncarnation()
+                               : _kernel.peerIncarnation(h.requester);
     if (h.requester == self) {
         installLocal(page, d.homeFrame, true);
         finishHead(page, err::OK);
@@ -546,6 +552,7 @@ Dsm::ownerLost(std::uint32_t page)
         d.lostOwner = d.owner;
     }
     d.owner = INVALID_NODE;
+    d.granteeIncarnation = 0;
     d.sharers.clear();
     d.awaitingWb = false;
     d.pendingAcks = 0;
@@ -807,15 +814,33 @@ Dsm::handleWb(NodeId peer, const std::uint32_t *p)
         return rc(err::INVAL);
     bool downgraded = p[1] != 0;
     DirEntry &d = _dir[page];
+    // Split-brain fence: only a writeback from the life the write
+    // grant was made to may land in the home frame. Anything else --
+    // a node the directory no longer records as owner (the page was
+    // re-homed behind its back), or a different life of the grantee
+    // (p[4] is the sender's incarnation stamp) -- is a relic that
+    // must not clobber the authoritative copy.
+    std::uint32_t inc = p[4];
+    if (d.owner != peer ||
+        (Incarnation::observed(inc) &&
+         Incarnation::observed(d.granteeIncarnation) &&
+         !Incarnation::sameLife(inc, d.granteeIncarnation))) {
+        ++_fencedWritebacks;
+        _kernel.noteFencedDrop();
+        SHRIMP_DTRACE("Dsm", _kernel.curTick(), "dsm",
+                      "fenced writeback of page ", page, " from node ",
+                      peer, " inc ", inc, " (owner ", d.owner,
+                      " grantee inc ", d.granteeIncarnation, ")");
+        return rc(err::STALE_EPOCH);
+    }
     // Land the data in the home frame before acknowledging: once the
     // ack is written the writer may reuse its bounce path.
     copyFrame(_links[peer].bounceIn, d.homeFrame);
     _kernel.mapManager().addWork(_kernel.costs().pageSwap);
-    if (d.owner == peer) {
-        d.owner = INVALID_NODE;
-        if (downgraded && !contains(d.sharers, peer))
-            d.sharers.push_back(peer);
-    }
+    d.owner = INVALID_NODE;
+    d.granteeIncarnation = 0;
+    if (downgraded && !contains(d.sharers, peer))
+        d.sharers.push_back(peer);
     if (d.awaitingWb) {
         d.awaitingWb = false;
         if (d.busy)
@@ -907,6 +932,98 @@ Dsm::peerRecovered(NodeId peer)
 }
 
 void
+Dsm::peerEpochChanged(NodeId peer, std::uint32_t inc)
+{
+    (void)inc;
+    if (peer >= _links.size() || peer == _kernel.nodeId())
+        return;
+
+    // Messages addressed to the old life can never be acknowledged by
+    // the new one (its RPC engine restarted from scratch).
+    failAllMsgs(peer);
+
+    for (std::uint32_t page = 0; page < _cfg.numPages; ++page) {
+        if (isHome(page)) {
+            DirEntry &d = _dir[page];
+            for (std::size_t i = d.sharers.size(); i-- > 0;)
+                if (d.sharers[i] == peer)
+                    d.sharers.erase(d.sharers.begin() +
+                                    static_cast<std::ptrdiff_t>(i));
+            // Old-life requests are void; the new life re-requests.
+            auto &w = d.waiters;
+            std::size_t keep = d.busy ? 1 : 0;
+            for (std::size_t i = w.size(); i-- > keep;)
+                if (w[i].requester == peer)
+                    w.erase(w.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            if (d.errored && d.lostOwner == peer) {
+                // The peer's new life is proof its old one is gone --
+                // the same evidence peerRecovered() acts on. Re-home
+                // here too: a restart can outrun the failure detector
+                // (never DEAD, so never "recovered"), and the doomed
+                // recall RPC has already routed through ownerLost().
+                // Exactly once either way: ownerLost() cleared the
+                // owner field, so the revoke branch below cannot also
+                // fire for this grant.
+                d.errored = false;
+                d.lostOwner = INVALID_NODE;
+                ++_rehomes;
+            }
+            if (d.owner == peer) {
+                // Revoke the old life's grant: the last written-back
+                // copy in the home frame becomes authoritative again.
+                // Exactly once per grant -- the owner field is cleared
+                // here, so a second epoch change cannot re-home.
+                d.owner = INVALID_NODE;
+                d.granteeIncarnation = 0;
+                d.awaitingWb = false;
+                d.pendingAcks = 0;
+                ++d.gen;
+                ++_rehomes;
+                if (d.busy && !d.waiters.empty()) {
+                    if (d.waiters.front().requester == peer)
+                        finishHead(page, err::STALE_EPOCH);
+                    else
+                        runHead(page);
+                } else {
+                    pump(page);
+                }
+            } else {
+                pump(page);
+            }
+        } else if (homeNode(page) == peer) {
+            // The home's directory restarted without us: our copy and
+            // pending faults refer to state it no longer tracks.
+            dropLocal(page);
+            auto it = _reqs.find(page);
+            if (it == _reqs.end())
+                continue;
+            auto &q = it->second;
+            while (!q.empty()) {
+                LocalReq r = std::move(q.front());
+                q.pop_front();
+                if (r.done)
+                    r.done(err::STALE_EPOCH);
+            }
+        }
+    }
+}
+
+void
+Dsm::fenceSelf()
+{
+    // Our new life must not keep copies granted to the old one: the
+    // home may have re-homed them while we were partitioned away, and
+    // a surviving WRITE_EXCLUSIVE copy here would be a second owner.
+    for (std::uint32_t page = 0; page < _cfg.numPages; ++page) {
+        if (!isHome(page) &&
+            _local[page].state != DsmPageState::INVALID) {
+            dropLocal(page);
+        }
+    }
+}
+
+void
 Dsm::reset()
 {
     for (NodeId peer = 0; peer < _links.size(); ++peer) {
@@ -939,6 +1056,7 @@ Dsm::reset()
         // last written-back contents) persist across the restart.
         d.sharers.clear();
         d.owner = INVALID_NODE;
+        d.granteeIncarnation = 0;
         d.lostOwner = INVALID_NODE;
         d.errored = false;
         d.busy = false;

@@ -149,6 +149,25 @@ class Dsm
      *  (contents = last home writeback). */
     void peerRecovered(NodeId peer);
 
+    /**
+     * Peer @p peer started a new life (incarnation @p inc) without
+     * necessarily ever being declared DEAD here (partition heal).
+     * Everything bound to its old life is void: grants it held are
+     * revoked (the page re-homes to the last written-back copy,
+     * exactly once, since the owner field is cleared), its sharer and
+     * waiter records are dropped, and our copies of pages it homes are
+     * discarded (its directory no longer knows about them).
+     */
+    void peerEpochChanged(NodeId peer, std::uint32_t inc);
+
+    /**
+     * This node started a new life (partition heal or restart) while
+     * its memory survived: copies of remotely-homed pages may have
+     * been re-homed behind our back, so holding on to them could
+     * create a second WRITE_EXCLUSIVE owner. Drop them all.
+     */
+    void fenceSelf();
+
     /** This node restarted: all local copies and pending requests are
      *  gone; the directory restarts empty (home frames persist). */
     void reset();
@@ -177,6 +196,10 @@ class Dsm
     }
     std::uint64_t rehomes() const { return _rehomes.value(); }
     std::uint64_t hostdownFaults() const { return _hostdown.value(); }
+    std::uint64_t fencedWritebacks() const
+    {
+        return _fencedWritebacks.value();
+    }
     const stats::Histogram &faultLatency() const
     {
         return _faultLatency;
@@ -240,6 +263,10 @@ class Dsm
         PageNum homeFrame = INVALID_PAGE;
         std::vector<NodeId> sharers;
         NodeId owner = INVALID_NODE;
+        /** Incarnation of the owner's life the write grant was made
+         *  to (0 = health off). A DSM_WB stamped from any other life
+         *  of the grantee is fenced (split-brain protection). */
+        std::uint32_t granteeIncarnation = 0;
         /** Owner whose death errored the page (for re-homing). */
         NodeId lostOwner = INVALID_NODE;
         bool errored = false;
@@ -351,6 +378,9 @@ class Dsm
         "dsmHostdownFaults", "DSM faults failed with err::HOSTDOWN"};
     stats::Counter _pagesSent{
         "dsmPagesSent", "page images DMA-ed to peers"};
+    stats::Counter _fencedWritebacks{
+        "dsmFencedWritebacks",
+        "writebacks fenced: not from the granted owner's life"};
     stats::Histogram _faultLatency{
         "dsmFaultLatency",
         "fault-to-resume latency of DSM faults, in ticks"};

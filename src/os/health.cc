@@ -42,6 +42,8 @@ HealthMonitor::HealthMonitor(EventQueue &eq, std::string name,
     _stats.addStat(&_suspects);
     _stats.addStat(&_peersDeclaredDead);
     _stats.addStat(&_peersRecovered);
+    _stats.addStat(&_partitionsDeclared);
+    _stats.addStat(&_staleEpochRejects);
 }
 
 void
@@ -77,13 +79,147 @@ HealthMonitor::resume()
     // were down stay DEAD until their next heartbeat proves otherwise.
     for (PeerState &p : _peers)
         p.lastSeen = now;
+    // A restart is a new life: anything still in flight from the old
+    // one must be fenced machine-wide.
+    bumpIncarnation("restart");
     reschedule(_tickEvent, now + _params.heartbeatPeriod);
 }
 
+std::uint32_t
+HealthMonitor::peerIncarnation(NodeId peer) const
+{
+    return _peers.at(peer).incarnation;
+}
+
+std::uint64_t
+HealthMonitor::stampFor(NodeId peer) const
+{
+    return (static_cast<std::uint64_t>(_selfInc) << 32) |
+           _peers.at(peer).incarnation;
+}
+
 void
-HealthMonitor::heartbeatFrom(NodeId src)
+HealthMonitor::bumpIncarnation(const char *why)
+{
+    ++_selfInc;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "health", "incarnationBump",
+                   {trace::arg("incarnation",
+                               static_cast<std::uint64_t>(_selfInc)),
+                    trace::arg("why", why)});
+    }
+    SHRIMP_DTRACE("Health", curTick(), name(), "incarnation -> ",
+                  _selfInc, " (", why, ")");
+    if (_hooks.selfEpochBumped)
+        _hooks.selfEpochBumped(_selfInc);
+}
+
+bool
+HealthMonitor::admitStamp(NodeId src, std::uint64_t stamp)
+{
+    return checkStamp(src, stamp) == StampVerdict::ADMIT;
+}
+
+HealthMonitor::StampVerdict
+HealthMonitor::checkStamp(NodeId src, std::uint64_t stamp)
+{
+    if (src >= _peers.size() || src == _self)
+        return StampVerdict::ADMIT;
+    std::uint32_t inc = stampIncarnation(stamp);
+    std::uint32_t view = stampView(stamp);
+    PeerState &p = _peers[src];
+
+    // A message from an older life of the sender is a relic of a
+    // healed partition or a pre-restart stream.
+    const char *reason = nullptr;
+    StampVerdict verdict = StampVerdict::ADMIT;
+    if (inc != 0 && p.incarnation != 0 &&
+        Incarnation::newerLife(p.incarnation, inc)) {
+        reason = "staleSender";
+        verdict = StampVerdict::STALE_SENDER;
+    }
+
+    // Record a newer sender incarnation BEFORE the view check: even if
+    // the message itself is fenced below, membership knowledge must
+    // advance, or two nodes that bumped simultaneously (both sides of
+    // a heal) would carry stale views of each other and reject each
+    // other's heartbeats forever.
+    if (!reason && Incarnation::newerLife(inc, p.incarnation)) {
+        bool first = p.incarnation == 0;
+        p.incarnation = inc;
+        if (!first) {
+            if (auto *t = eventQueue().tracer()) {
+                t->instant(curTick(), name(), "health",
+                           "peerEpochChanged",
+                           {trace::arg("peer",
+                                       static_cast<std::uint64_t>(src)),
+                            trace::arg("inc",
+                                       static_cast<std::uint64_t>(inc))});
+            }
+            if (_hooks.peerEpochChanged)
+                _hooks.peerEpochChanged(src, inc);
+        }
+    }
+
+    // A message addressed to a previous life of this node (the sender
+    // has not yet observed our bump) must not touch current state.
+    if (!reason && view != 0 && !Incarnation::sameLife(view, _selfInc)) {
+        reason = "staleView";
+        verdict = StampVerdict::STALE_VIEW;
+    }
+
+    if (reason) {
+        ++_staleEpochRejects;
+        if (auto *t = eventQueue().tracer()) {
+            t->instant(
+                curTick(), name(), "health", "staleEpochReject",
+                {trace::arg("src", static_cast<std::uint64_t>(src)),
+                 trace::arg("inc", static_cast<std::uint64_t>(inc)),
+                 trace::arg("view", static_cast<std::uint64_t>(view)),
+                 trace::arg("reason", reason)});
+        }
+        SHRIMP_DTRACE("Health", curTick(), name(), "fenced msg from ",
+                      src, " inc ", inc, " view ", view, " (", reason,
+                      ")");
+    }
+    return verdict;
+}
+
+void
+HealthMonitor::noteFencedDrop()
+{
+    ++_staleEpochRejects;
+}
+
+bool
+HealthMonitor::quorumReachable() const
+{
+    // A two-node machine has no possible strict majority once the
+    // peer is silent; silence must still mean death there or no
+    // failure could ever be declared.
+    if (_peers.size() <= 2)
+        return true;
+    unsigned reachable = 1;     // self
+    for (NodeId peer = 0; peer < _peers.size(); ++peer) {
+        if (peer != _self && _peers[peer].state == PeerHealth::ALIVE)
+            ++reachable;
+    }
+    return reachable * 2 > _peers.size();
+}
+
+void
+HealthMonitor::heartbeatFrom(NodeId src, std::uint64_t stamp)
 {
     if (!_running || src >= _peers.size() || src == _self)
+        return;
+    // A heartbeat from a stale life is not liveness evidence: it must
+    // not refresh lastSeen or resurrect the peer. A stale VIEW is
+    // different: the sender's current life demonstrably produced this
+    // heartbeat, it just has not observed our bump yet. Fencing those
+    // too makes bumps metastable -- every bump would reject the next
+    // heartbeat round machine-wide, re-declare peers dead, and each
+    // recovery would bump again, churning forever.
+    if (checkStamp(src, stamp) == StampVerdict::STALE_SENDER)
         return;
     ++_heartbeatsReceived;
     PeerState &p = _peers[src];
@@ -131,7 +267,25 @@ HealthMonitor::tick()
         }
         if (p.state == PeerHealth::SUSPECT &&
             silence >= _params.deadTimeout) {
-            transition(peer, PeerHealth::DEAD);
+            if (quorumReachable()) {
+                transition(peer, PeerHealth::DEAD);
+            } else if (!p.quorumStalled) {
+                // We are (probably) the minority side of a partition:
+                // without a reachable majority, silence proves nothing
+                // about the peer. Stall here instead of declaring the
+                // majority dead.
+                p.quorumStalled = true;
+                ++_partitionsDeclared;
+                if (auto *t = eventQueue().tracer()) {
+                    t->instant(
+                        now, name(), "health", "partitionSuspected",
+                        {trace::arg("peer",
+                                    static_cast<std::uint64_t>(peer))});
+                }
+                SHRIMP_DTRACE("Health", now, name(), "peer ", peer,
+                              " past dead timeout but no quorum; "
+                              "stalling at SUSPECT");
+            }
         }
     }
 
@@ -159,11 +313,23 @@ HealthMonitor::transition(NodeId peer, PeerHealth to)
         ++_suspects;
         break;
       case PeerHealth::DEAD:
+        p.quorumStalled = false;
         ++_peersDeclaredDead;
         if (_hooks.peerDead)
             _hooks.peerDead(peer);
         break;
       case PeerHealth::ALIVE:
+        if (from == PeerHealth::DEAD || p.quorumStalled) {
+            // The far side of a partition (or a restarted peer) is
+            // back. Start a new life of our own first, so any of our
+            // pre-partition traffic still queued in the fabric is
+            // fenced by every receiver; then reintegrate the peer.
+            bool stalled = p.quorumStalled;
+            for (PeerState &q : _peers)
+                q.quorumStalled = false;
+            bumpIncarnation(stalled ? "partition heal"
+                                    : "peer recovered");
+        }
         if (from == PeerHealth::DEAD) {
             ++_peersRecovered;
             if (_hooks.peerRecovered)

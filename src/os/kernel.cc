@@ -427,17 +427,79 @@ Kernel::enableHealth(const HealthParams &params)
         return;
     HealthMonitor::Hooks hooks;
     hooks.sendHeartbeat = [this](NodeId peer) {
-        _ni.sendHeartbeat(peer);
+        _ni.sendHeartbeat(peer, _health->stampFor(peer));
     };
     hooks.peerDead = [this](NodeId peer) { peerDied(peer); };
     hooks.peerRecovered = [this](NodeId peer) { peerRecovered(peer); };
+    hooks.peerEpochChanged = [this](NodeId peer, std::uint32_t inc) {
+        peerEpochChanged(peer, inc);
+    };
+    hooks.selfEpochBumped = [this](std::uint32_t inc) {
+        // Our old life's streams must not interleave with the new
+        // ones, and grants we hold from before the bump are void.
+        _ni.startNewEpoch(inc);
+        if (_dsm)
+            _dsm->fenceSelf();
+    };
     _health = std::make_unique<HealthMonitor>(
         eventQueue(), name() + ".health", _node, _numNodes, params,
         std::move(hooks), &_stats);
-    _ni.onHeartbeat = [this](NodeId src) {
-        _health->heartbeatFrom(src);
+    _ni.onHeartbeat = [this](NodeId src, std::uint64_t stamp) {
+        _health->heartbeatFrom(src, stamp);
     };
+    _ni.onStaleEpochDrop = [this](NodeId) {
+        // The NI channel-epoch gate fenced a data packet; roll it into
+        // the machine-wide stale-epoch accounting.
+        _health->noteFencedDrop();
+    };
+    _ni.startNewEpoch(_health->selfIncarnation());
     _health->start();
+}
+
+std::uint32_t
+Kernel::selfIncarnation() const
+{
+    return _health ? _health->selfIncarnation() : 1;
+}
+
+std::uint32_t
+Kernel::peerIncarnation(NodeId peer) const
+{
+    return _health ? _health->peerIncarnation(peer) : 0;
+}
+
+void
+Kernel::noteFencedDrop()
+{
+    if (_health)
+        _health->noteFencedDrop();
+}
+
+void
+Kernel::peerEpochChanged(NodeId peer, std::uint32_t inc)
+{
+    if (peer == _node || peer >= _numNodes)
+        return;
+    if (auto *t = eventQueue().tracer()) {
+        t->instant(curTick(), name(), "kernel", "peerEpochChanged",
+                   {trace::arg("peer",
+                               static_cast<std::uint64_t>(peer)),
+                    trace::arg("inc",
+                               static_cast<std::uint64_t>(inc))});
+    }
+    // RPCs addressed to the peer's previous life can never complete;
+    // doom them with err::STALE_EPOCH and restart both the RPC engine
+    // and the reliability channel so new-life traffic starts clean.
+    _mapManager->resetPeer(peer, err::STALE_EPOCH);
+    _ni.resetChannel(peer);
+    if (peer < _channelIn.size() && _channelIn[peer] != INVALID_PAGE) {
+        // Stale seq words from the previous life would otherwise
+        // replay old RPCs against the reset engine.
+        std::vector<std::uint8_t> zeros(PAGE_SIZE, 0);
+        _mem.write(pageBase(_channelIn[peer]), zeros.data(), PAGE_SIZE);
+    }
+    if (_dsm)
+        _dsm->peerEpochChanged(peer, inc);
 }
 
 bool

@@ -207,6 +207,24 @@ class Kernel : public SimObject, public TrapHandler
     /** The failure detector, or nullptr unless enableHealth ran. */
     HealthMonitor *health() { return _health.get(); }
 
+    /** This node's current life number (1 when health is off). */
+    std::uint32_t selfIncarnation() const;
+
+    /** Last observed incarnation of @p peer (0 = unknown/health off). */
+    std::uint32_t peerIncarnation(NodeId peer) const;
+
+    /** A layer fenced a stale-epoch message itself: route the drop
+     *  into health's staleEpochRejects accounting. */
+    void noteFencedDrop();
+
+    /**
+     * Peer @p peer started a new life (incarnation @p inc): everything
+     * bound to its previous life is stale. In-flight RPCs toward it
+     * fail with err::STALE_EPOCH, the reliability channel restarts,
+     * and the DSM re-homes pages its old life owned.
+     */
+    void peerEpochChanged(NodeId peer, std::uint32_t inc);
+
     /**
      * Peer @p peer is dead (heartbeat timeout or retransmit-cap
      * evidence): error every NIPT mapping half toward it, abort

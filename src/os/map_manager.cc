@@ -35,8 +35,19 @@ MapManager::transmit(NodeId peer, PeerState &state)
     state.queue.pop_front();
     state.inFlight = true;
     ++_rpcsSent;
+    stampPayload(peer, state.current.payload.data());
     writeRecord(peer, channel::reqOffset, state.nextSeq++,
                 state.current.type, state.current.payload.data());
+}
+
+void
+MapManager::stampPayload(NodeId peer, std::uint32_t *words) const
+{
+    if (auto *h = _kernel.health()) {
+        std::uint64_t stamp = h->stampFor(peer);
+        words[4] = HealthMonitor::stampIncarnation(stamp);
+        words[5] = HealthMonitor::stampView(stamp);
+    }
 }
 
 void
@@ -74,23 +85,41 @@ MapManager::handleChannelArrival(NodeId peer)
                 peer, channel::reqOffset + channel::payloadWord + 4 * i);
         }
 
+        // Epoch fence: a request stamped from a stale life of either
+        // endpoint is refused without dispatching. Admitting a newer
+        // life fires peerEpochChanged, which resets this engine
+        // re-entrantly; re-record the doorbell afterwards so the
+        // request is not dispatched a second time.
+        bool admitted = true;
+        if (auto *h = _kernel.health()) {
+            admitted = h->admitStamp(
+                peer, (static_cast<std::uint64_t>(payload[4]) << 32) |
+                          payload[5]);
+        }
+        state.lastReqSeen = req_seq;
+
         addWork(_kernel.costs().rpcDispatch);
         std::uint32_t resp[channel::payloadWords] = {};
-        switch (type) {
-          case channel::MAP_PAGE:
-            resp[0] = handleMapPage(peer, payload, resp);
-            break;
-          case channel::UNMAP_PAGE:
-            resp[0] = handleUnmapPage(peer, payload);
-            break;
-          case channel::INVALIDATE:
-            resp[0] = handleInvalidate(peer, payload);
-            break;
-          default:
-            // DSM protocol types (or garbage -> err::INVAL).
-            resp[0] = _kernel.dsmRpc(peer, type, payload, resp);
-            break;
+        if (!admitted) {
+            resp[0] = static_cast<std::uint32_t>(err::STALE_EPOCH);
+        } else {
+            switch (type) {
+              case channel::MAP_PAGE:
+                resp[0] = handleMapPage(peer, payload, resp);
+                break;
+              case channel::UNMAP_PAGE:
+                resp[0] = handleUnmapPage(peer, payload);
+                break;
+              case channel::INVALIDATE:
+                resp[0] = handleInvalidate(peer, payload);
+                break;
+              default:
+                // DSM protocol types (or garbage -> err::INVAL).
+                resp[0] = _kernel.dsmRpc(peer, type, payload, resp);
+                break;
+            }
         }
+        stampPayload(peer, resp);
         writeRecord(peer, channel::respOffset, req_seq, type, resp);
     }
 
@@ -100,18 +129,38 @@ MapManager::handleChannelArrival(NodeId peer)
                                           channel::seqWord);
     if (state.inFlight && resp_seq == state.nextSeq - 1 &&
         resp_seq != state.lastRespSeen) {
-        state.lastRespSeen = resp_seq;
         std::uint32_t resp[channel::payloadWords];
         for (unsigned i = 0; i < channel::payloadWords; ++i) {
             resp[i] = _kernel.readChannelWord(
                 peer, channel::respOffset + channel::payloadWord + 4 * i);
         }
-        state.inFlight = false;
-        KernelRpc completed = std::move(state.current);
-        if (!state.queue.empty())
-            transmit(peer, state);
-        if (completed.onResponse)
-            completed.onResponse(resp);
+        // Epoch fence. Admitting a newer life fires peerEpochChanged,
+        // which resets this engine re-entrantly and dooms the
+        // in-flight RPC with err::STALE_EPOCH — hence the re-check of
+        // inFlight below.
+        bool admitted = true;
+        if (auto *h = _kernel.health()) {
+            admitted = h->admitStamp(
+                peer,
+                (static_cast<std::uint64_t>(resp[4]) << 32) | resp[5]);
+        }
+        if (state.inFlight) {
+            state.lastRespSeen = resp_seq;
+            state.inFlight = false;
+            KernelRpc completed = std::move(state.current);
+            if (!admitted) {
+                // A stale-life response must not complete the RPC as
+                // a success, but dropping it silently would wedge the
+                // engine; doom the RPC instead.
+                resp[0] = static_cast<std::uint32_t>(err::STALE_EPOCH);
+                for (unsigned i = 1; i < channel::payloadWords; ++i)
+                    resp[i] = 0;
+            }
+            if (!state.queue.empty())
+                transmit(peer, state);
+            if (completed.onResponse)
+                completed.onResponse(resp);
+        }
     }
 
     return _workAccum;
@@ -810,7 +859,7 @@ MapManager::purgeOutTo(NodeId peer)
 }
 
 void
-MapManager::resetPeer(NodeId peer)
+MapManager::resetPeer(NodeId peer, std::uint64_t errno_)
 {
     PeerState &state = _peers.at(peer);
     std::vector<KernelRpc> doomed;
@@ -821,7 +870,7 @@ MapManager::resetPeer(NodeId peer)
     state = PeerState{};
 
     std::uint32_t resp[channel::payloadWords] = {};
-    resp[0] = static_cast<std::uint32_t>(err::HOSTDOWN);
+    resp[0] = static_cast<std::uint32_t>(errno_);
     for (KernelRpc &rpc : doomed) {
         if (rpc.onResponse)
             rpc.onResponse(resp);

@@ -215,11 +215,12 @@ class MapManager
 
     /**
      * Reset the RPC engine toward @p peer: in-flight and queued RPCs
-     * complete with err::HOSTDOWN (waking any blocked map()/unmap()
-     * callers) and sequence numbers restart from scratch, matching a
-     * rejoining peer's fresh channel state.
+     * complete with @p errno_ — err::HOSTDOWN for a dead peer,
+     * err::STALE_EPOCH when the peer started a new life — waking any
+     * blocked map()/unmap() callers, and sequence numbers restart from
+     * scratch, matching a rejoining peer's fresh channel state.
      */
-    void resetPeer(NodeId peer);
+    void resetPeer(NodeId peer, std::uint64_t errno_ = err::HOSTDOWN);
 
     /**
      * Drop every pin held on behalf of incoming mappings. Used at
@@ -261,6 +262,10 @@ class MapManager
 
     void sendRpc(NodeId peer, KernelRpc rpc);
     void transmit(NodeId peer, PeerState &state);
+
+    /** Stamp (incarnation, view-of-peer) into payload words [4],[5]
+     *  of an outgoing record (no-op while health is off). */
+    void stampPayload(NodeId peer, std::uint32_t *words) const;
 
     /** Write one record into our out channel to @p peer. */
     void writeRecord(NodeId peer, Addr rec_offset, std::uint32_t seq,

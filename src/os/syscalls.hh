@@ -52,6 +52,10 @@ constexpr std::uint64_t HOSTDOWN = 6;   //!< peer declared dead
  *  send window is persistently full, or the per-destination send
  *  queue is at its bound. Retry later (EAGAIN-style fail-fast). */
 constexpr std::uint64_t WOULDBLOCK = 7;
+/** Message fenced by epoch-based membership: it was stamped with a
+ *  stale incarnation of either endpoint (a relic of a healed
+ *  partition or a pre-restart stream) and was not applied. */
+constexpr std::uint64_t STALE_EPOCH = 8;
 } // namespace err
 
 /**

@@ -1,0 +1,32 @@
+// Raw equality on incarnation (life) numbers re-implements the
+// membership fence without the 0 = "never observed" sentinel: a page
+// granted before the peer was ever heard from would be fenced, and a
+// relic from life 3 would land after a bump to 4 if only one side
+// checks. Comparisons belong behind Incarnation::sameLife /
+// newerLife / observed (os/health.hh).
+using NodeId = unsigned;
+
+struct DirEntry
+{
+    unsigned granteeIncarnation = 0;
+};
+
+unsigned peerIncarnation(NodeId peer);
+
+bool
+writebackFencedRaw(const DirEntry &d, unsigned inc)
+{
+    return d.granteeIncarnation != inc;
+}
+
+bool
+sameLifeRaw(NodeId peer, unsigned stampedIncarnation)
+{
+    return peerIncarnation(peer) == stampedIncarnation;
+}
+
+bool
+everObservedRaw(unsigned incarnation)
+{
+    return incarnation == 0;
+}

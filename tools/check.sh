@@ -16,8 +16,14 @@
 #            stencil/migratory bench through the latency/progress
 #            schema check, and a same-seed chaos-with-DSM determinism
 #            byte-compare
+#   --partition  sanitized partition-tolerance gate: the partition/
+#            fault-model unit suite, bench_partition through the
+#            heal-time schema check, and chaos soaks with network
+#            partition phases enabled (three seeds, every invariant,
+#            same-seed byte-compare)
 #
-# With no stage flags, all five run (lint, asan, tsan, overload, dsm).
+# With no stage flags, all six run (lint, asan, tsan, overload, dsm,
+# partition).
 # A trailing positional argument overrides the ASan build dir
 # (back-compat).
 set -eu
@@ -30,6 +36,7 @@ run_asan=0
 run_tsan=0
 run_overload=0
 run_dsm=0
+run_partition=0
 asan_build="$repo/build-asan"
 for arg in "$@"; do
     case "$arg" in
@@ -38,19 +45,22 @@ for arg in "$@"; do
       --tsan) run_tsan=1 ;;
       --overload) run_overload=1 ;;
       --dsm) run_dsm=1 ;;
+      --partition) run_partition=1 ;;
       -h|--help)
-        echo "usage: tools/check.sh [--lint] [--asan] [--tsan] [--overload] [--dsm] [asan-build-dir]"
+        echo "usage: tools/check.sh [--lint] [--asan] [--tsan] [--overload] [--dsm] [--partition] [asan-build-dir]"
         exit 0
         ;;
       *) asan_build="$arg" ;;
     esac
 done
-if [ "$run_lint$run_asan$run_tsan$run_overload$run_dsm" = "00000" ]; then
+if [ "$run_lint$run_asan$run_tsan$run_overload$run_dsm$run_partition" = \
+    "000000" ]; then
     run_lint=1
     run_asan=1
     run_tsan=1
     run_overload=1
     run_dsm=1
+    run_partition=1
 fi
 
 # ---------------------------------------------------------------- lint
@@ -234,6 +244,50 @@ if [ "$run_dsm" = 1 ]; then
         exit 1
     }
     echo "check.sh: dsm stage passed"
+fi
+
+# ----------------------------------------------------------- partition
+if [ "$run_partition" = 1 ]; then
+    # Reuses the ASan build: epoch fencing and split-brain recovery are
+    # pointer-heavy callback code, exactly where lifetime bugs hide.
+    cmake -B "$asan_build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSHRIMP_SANITIZE=address,undefined
+    cmake --build "$asan_build" -j "$jobs" \
+        --target partition_test bench_partition shrimp_explore \
+        shrimp_validate
+
+    # Membership, fencing, and route-around unit suites, sanitized.
+    cd "$asan_build"
+    ASAN_OPTIONS=detect_leaks=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ctest --output-on-failure -j "$jobs" \
+        -R '^Partition\.|^FaultModelTest\.|^RouterPartition\.'
+
+    # Partition/heal sweep through the heal-time schema gate.
+    cd "$asan_build/bench"
+    rm -f BENCH_partition.json
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ./bench_partition > /dev/null
+    "$asan_build/tools/shrimp_validate" partition BENCH_partition.json
+
+    # Chaos with network-partition phases on: three seeds must hold
+    # every global invariant (no split-brain writebacks, exactly-once
+    # re-homing, full reintegration), and the run stays a pure
+    # function of the seed (same seed twice -> byte-identical).
+    cd "$asan_build"
+    for seed in 1 2 3; do
+        ./tools/shrimp_explore chaos --seed "$seed" --partitions 2 \
+            --json "check_part${seed}.json" > /dev/null
+        ./tools/shrimp_validate chaos "check_part${seed}.json"
+    done
+    ./tools/shrimp_explore chaos --seed 1 --partitions 2 \
+        --json check_part1b.json > /dev/null
+    cmp check_part1.json check_part1b.json || {
+        echo "check.sh: partition chaos soak is not deterministic" >&2
+        exit 1
+    }
+    echo "check.sh: partition stage passed"
 fi
 
 echo "check.sh: all requested stages passed"

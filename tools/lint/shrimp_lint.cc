@@ -18,6 +18,9 @@
  *   shrimp-stats-reset          every Stat subclass overrides reset()
  *   shrimp-logging-raw-io       no raw printf/cout in src/; use
  *                               sim/logging.hh
+ *   shrimp-epoch-compare        no raw ==/!= on incarnation numbers
+ *                               outside os/health.*; use
+ *                               Incarnation::sameLife/newerLife/observed
  *   shrimp-suppression-reason   every NOLINT(shrimp-*) states a reason
  *
  * Suppression: append `// NOLINT(shrimp-<rule>): <reason>` to the
@@ -246,6 +249,88 @@ hasTickToken(const std::string &text)
     return false;
 }
 
+/**
+ * The operand expression ending just before @p opPos: a backward scan
+ * over identifier chars, member access (`.`/`->`/`::`), and one
+ * balanced call-argument list, so `d.granteeIncarnation`,
+ * `h.peerIncarnation(peer)` and `ns::inc` all come back whole.
+ */
+std::string
+operandLeftOf(const std::string &code, std::size_t opPos)
+{
+    std::size_t j = opPos;
+    while (j > 0 && (code[j - 1] == ' ' || code[j - 1] == '\t'))
+        --j;
+    std::size_t end = j;
+    int depth = 0;
+    while (j > 0) {
+        char c = code[j - 1];
+        if (c == ')') {
+            ++depth;
+            --j;
+        } else if (c == '(') {
+            if (depth == 0)
+                break;
+            --depth;
+            --j;
+        } else if (depth > 0) {
+            --j;
+        } else if (identChar(c) || c == '.' || c == ':') {
+            --j;
+        } else if (c == '>' && j >= 2 && code[j - 2] == '-') {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    return code.substr(j, end - j);
+}
+
+/** The operand expression starting at @p from (mirror of the above). */
+std::string
+operandRightOf(const std::string &code, std::size_t from)
+{
+    std::size_t j = from;
+    while (j < code.size() && (code[j] == ' ' || code[j] == '\t'))
+        ++j;
+    if (j < code.size() && code[j] == '!')
+        ++j;                        // tolerate `!observed(x)` spellings
+    std::size_t start = j;
+    int depth = 0;
+    while (j < code.size()) {
+        char c = code[j];
+        if (c == '(') {
+            ++depth;
+            ++j;
+        } else if (c == ')') {
+            if (depth == 0)
+                break;
+            --depth;
+            ++j;
+        } else if (depth > 0) {
+            ++j;
+        } else if (identChar(c) || c == '.' || c == ':') {
+            ++j;
+        } else if (c == '-' && j + 1 < code.size() &&
+                   code[j + 1] == '>') {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    return code.substr(start, j - start);
+}
+
+/** Does the operand name an incarnation (life) number? */
+bool
+namesIncarnation(const std::string &operand)
+{
+    std::string low = operand;
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return low.find("incarnation") != std::string::npos;
+}
+
 std::string
 trim(const std::string &s)
 {
@@ -305,6 +390,7 @@ class Linter
     void checkTickNarrowing(const SourceFile &f);
     void checkStatsDesc(const SourceFile &f);
     void checkStatsReset(const SourceFile &f);
+    void checkEpochCompare(const SourceFile &f);
     void checkSuppressions(const SourceFile &f);
 
     static bool allowlisted(const SourceFile &f, const char *rule);
@@ -348,6 +434,10 @@ Linter::rules()
         {"shrimp-logging-raw-io",
          "no raw printf/std::cout/std::cerr in src/; route output "
          "through sim/logging.hh macros"},
+        {"shrimp-epoch-compare",
+         "raw ==/!= on an incarnation (life) number outside "
+         "os/health.*; 0 means never-observed and must not fence -- "
+         "wrap in Incarnation::sameLife/newerLife/observed"},
         {"shrimp-suppression-reason",
          "NOLINT(shrimp-*) must state a reason: "
          "`// NOLINT(shrimp-<rule>): <why>`"},
@@ -368,6 +458,10 @@ Linter::allowlisted(const SourceFile &f, const char *rule)
         {"sim/random.hh", "shrimp-determinism-random"},
         {"sim/logging.cc", "shrimp-logging-raw-io"},
         {"sim/trace.cc", "shrimp-determinism-clock"},
+        // health.* defines Incarnation and the fence itself; its raw
+        // compares are the sanctioned implementation.
+        {"os/health.hh", "shrimp-epoch-compare"},
+        {"os/health.cc", "shrimp-epoch-compare"},
     };
     for (const Entry &e : table) {
         std::string suffix = e.suffix;
@@ -788,6 +882,50 @@ Linter::checkStatsReset(const SourceFile &f)
 }
 
 // ---------------------------------------------------------------------
+// Epoch-compare fence
+// ---------------------------------------------------------------------
+
+/**
+ * Partition tolerance (DESIGN.md section 14) rests on incarnation
+ * numbers where 0 means "never observed" and must never fence. A raw
+ * ==/!= on such a field re-implements the fence without the sentinel
+ * and is exactly the bug the grantee-incarnation writeback fence once
+ * had; every comparison goes through the Incarnation predicates in
+ * os/health.hh instead (health.* itself is allowlisted -- it is the
+ * implementation).
+ */
+void
+Linter::checkEpochCompare(const SourceFile &f)
+{
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        const std::string &code = f.code[i];
+        for (std::size_t pos = 0; pos + 1 < code.size(); ++pos) {
+            bool eq = code[pos] == '=' && code[pos + 1] == '=';
+            bool ne = code[pos] == '!' && code[pos + 1] == '=';
+            if (!eq && !ne)
+                continue;
+            // Not <=, >=, the tail of !=, or a chained ===.
+            if (eq && pos > 0 &&
+                (code[pos - 1] == '=' || code[pos - 1] == '!' ||
+                 code[pos - 1] == '<' || code[pos - 1] == '>'))
+                continue;
+            if (code[pos + 1] == '=' && pos + 2 < code.size() &&
+                code[pos + 2] == '=')
+                continue;
+            std::string lhs = operandLeftOf(code, pos);
+            std::string rhs = operandRightOf(code, pos + 2);
+            if (namesIncarnation(lhs) || namesIncarnation(rhs))
+                add(f, i + 1, "shrimp-epoch-compare",
+                    "raw " + std::string(eq ? "==" : "!=") +
+                        " on an incarnation number; wrap in "
+                        "Incarnation::sameLife/newerLife/observed "
+                        "(os/health.hh)");
+            ++pos;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Suppression audit
 // ---------------------------------------------------------------------
 
@@ -840,6 +978,7 @@ Linter::lint(const SourceFile &f)
     checkTickNarrowing(f);
     checkStatsDesc(f);
     checkStatsReset(f);
+    checkEpochCompare(f);
     checkSuppressions(f);
     std::sort(_out.begin(), _out.end(),
               [](const Finding &a, const Finding &b) {

@@ -13,7 +13,8 @@
  *                            [--trace-out F] [--stats-json F]
  *   shrimp_explore chaos     [--seed N] [--width W] [--height H]
  *                            [--duration-ms N] [--crashes N]
- *                            [--flaps N] [--json F] [--trace-out F]
+ *                            [--flaps N] [--partitions N] [--json F]
+ *                            [--trace-out F]
  *
  * `latency` and `bandwidth` reproduce the paper's Section 5.1 numbers
  * for arbitrary parameters; `table1` prints the software-overhead
@@ -21,8 +22,9 @@
  * statistics (bus transactions, cache hits, NIPT traffic, ...).
  *
  * `chaos` runs one seeded chaos-soak schedule (node crash/restart
- * cycles and link flaps against mixed traffic) and checks the global
- * invariants; exit status 0 iff they all hold. `--chaos` is accepted
+ * cycles, link flaps and, with --partitions, network partition/heal
+ * cycles against mixed traffic) and checks the global invariants;
+ * exit status 0 iff they all hold. `--chaos` is accepted
  * as an alias. --json FILE writes the machine-readable report.
  *
  * --trace-out FILE records a packet-lifecycle event trace and writes
@@ -224,6 +226,8 @@ cmdChaos(int argc, char **argv)
         static_cast<unsigned>(argValue(argc, argv, "--bursts", 2));
     p.burstWritesPerSender = static_cast<unsigned>(
         argValue(argc, argv, "--burst-writes", 24));
+    p.partitions = static_cast<unsigned>(
+        argValue(argc, argv, "--partitions", 0));
     if (const char *trace = argString(argc, argv, "--trace-out"))
         p.tracePath = trace;
 
@@ -267,6 +271,15 @@ cmdChaos(int argc, char **argv)
                 static_cast<unsigned long long>(r.dsmOpsHostdown));
     std::printf("  dsm re-homes       : %llu\n",
                 static_cast<unsigned long long>(r.dsmRehomes));
+    std::printf("  partitions/heals   : %llu / %llu\n",
+                static_cast<unsigned long long>(r.partitionsInjected),
+                static_cast<unsigned long long>(r.healsInjected));
+    std::printf("  quorum stalls      : %llu\n",
+                static_cast<unsigned long long>(r.partitionsDeclared));
+    std::printf("  stale epoch rejects: %llu (ni %llu, dsm wb %llu)\n",
+                static_cast<unsigned long long>(r.staleEpochRejects),
+                static_cast<unsigned long long>(r.niStaleEpochDrops),
+                static_cast<unsigned long long>(r.fencedWritebacks));
     std::printf("  stats fingerprint  : %016llx\n",
                 static_cast<unsigned long long>(r.statsFingerprint));
     std::printf("  invariants         : %s\n",
@@ -320,6 +333,12 @@ cmdChaos(int argc, char **argv)
         field("dsmOpsIssued", r.dsmOpsIssued);
         field("dsmOpsHostdown", r.dsmOpsHostdown);
         field("dsmRehomes", r.dsmRehomes);
+        field("partitionsInjected", r.partitionsInjected);
+        field("healsInjected", r.healsInjected);
+        field("partitionsDeclared", r.partitionsDeclared);
+        field("staleEpochRejects", r.staleEpochRejects);
+        field("niStaleEpochDrops", r.niStaleEpochDrops);
+        field("fencedWritebacks", r.fencedWritebacks);
         field("endTick", r.endTick, true);
         out << "  }\n}\n";
     }

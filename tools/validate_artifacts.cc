@@ -10,6 +10,7 @@
  *   shrimp_validate chaos FILE...     chaos-soak report JSON
  *   shrimp_validate overload FILE...  BENCH_overload.json + collapse gate
  *   shrimp_validate dsm FILE...       BENCH_dsm.json + latency/progress gates
+ *   shrimp_validate partition FILE... BENCH_partition.json + recovery gates
  *
  * Exit status 0 iff every file parses and conforms.
  */
@@ -196,7 +197,9 @@ validateChaos(const std::string &file, const Value &root)
           "overloadBurstsInjected", "sendsRejected", "ecnMarksSeen",
           "ecnEchoesSent", "pacedRetransmits", "watchdogStalls",
           "pairsVerifiedExact", "dsmOpsIssued", "dsmOpsHostdown",
-          "dsmRehomes", "endTick"}) {
+          "dsmRehomes", "partitionsInjected", "healsInjected",
+          "partitionsDeclared", "staleEpochRejects",
+          "niStaleEpochDrops", "fencedWritebacks", "endTick"}) {
         const Value *c = counters->find(key);
         if (!c || !c->isNumber())
             return fail(file,
@@ -301,6 +304,67 @@ validateDsm(const std::string &file, const Value &root)
         return fail(file, "no Migratory results");
 }
 
+/**
+ * BENCH_partition.json: the bench schema plus partition-recovery
+ * gates. Every Partition* sweep point must report that the majority
+ * actually detected the isolated node (time_to_detect_us > 0), that
+ * the machine reintegrated after the heal (time_to_heal_us > 0), and
+ * the fence accounting must balance: the machine-wide
+ * stale_epoch_rejects total can never be smaller than the layered
+ * drops it is supposed to account for (fenced_writebacks +
+ * ni_stale_drops).
+ */
+void
+validatePartition(const std::string &file, const Value &root)
+{
+    int before = g_errors;
+    validateBench(file, root);
+    if (g_errors != before)
+        return;
+    const Value *results = root.find("results");
+    bool any = false;
+    for (const Value &r : results->arr) {
+        const Value *name = r.find("name");
+        if (name->str.compare(0, 9, "Partition") != 0)
+            continue;
+        any = true;
+        const Value *counters = r.find("counters");
+        const Value *detect = counters->find("time_to_detect_us");
+        const Value *heal = counters->find("time_to_heal_us");
+        const Value *rejects = counters->find("stale_epoch_rejects");
+        const Value *fenced = counters->find("fenced_writebacks");
+        const Value *ni_drops = counters->find("ni_stale_drops");
+        if (!detect || !detect->isNumber())
+            return fail(file, name->str + " has no time_to_detect_us");
+        if (!heal || !heal->isNumber())
+            return fail(file, name->str + " has no time_to_heal_us");
+        if (!rejects || !rejects->isNumber())
+            return fail(file,
+                        name->str + " has no stale_epoch_rejects");
+        if (!fenced || !fenced->isNumber())
+            return fail(file, name->str + " has no fenced_writebacks");
+        if (!ni_drops || !ni_drops->isNumber())
+            return fail(file, name->str + " has no ni_stale_drops");
+        if (detect->number <= 0.0) {
+            return fail(file, name->str +
+                                  " never detected the partition");
+        }
+        if (heal->number <= 0.0)
+            return fail(file, name->str + " never reintegrated");
+        if (rejects->number < fenced->number + ni_drops->number) {
+            return fail(file,
+                        name->str + " fence accounting broken: " +
+                            std::to_string(rejects->number) +
+                            " rejects < " +
+                            std::to_string(fenced->number) + " + " +
+                            std::to_string(ni_drops->number) +
+                            " layered drops");
+        }
+    }
+    if (!any)
+        return fail(file, "no Partition results");
+}
+
 } // namespace
 
 int
@@ -309,14 +373,15 @@ main(int argc, char **argv)
     if (argc < 3) {
         std::fprintf(
             stderr,
-            "usage: %s {trace|bench|stats|chaos|overload|dsm} "
-            "FILE...\n",
+            "usage: %s {trace|bench|stats|chaos|overload|dsm|"
+            "partition} FILE...\n",
             argv[0]);
         return 2;
     }
     std::string mode = argv[1];
     if (mode != "trace" && mode != "bench" && mode != "stats" &&
-        mode != "chaos" && mode != "overload" && mode != "dsm") {
+        mode != "chaos" && mode != "overload" && mode != "dsm" &&
+        mode != "partition") {
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         return 2;
     }
@@ -345,6 +410,8 @@ main(int argc, char **argv)
             validateOverload(path, root);
         else if (mode == "dsm")
             validateDsm(path, root);
+        else if (mode == "partition")
+            validatePartition(path, root);
         else
             validateStats(path, root);
         if (g_errors == 0)
